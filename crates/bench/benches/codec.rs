@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the erasure-coding substrate: GF(256)
+//! kernels, Reed-Solomon encode/decode across the `[n, k]` settings the
+//! paper's configurations use, and the systematic fast path.
+
+use ares_codes::reed_solomon::ReedSolomon;
+use ares_codes::{gf256, ErasureCode, Fragment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_gf_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256");
+    let src: Vec<u8> = (0..4096).map(|i| (i * 31 + 1) as u8).collect();
+    let mut dst = vec![0u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("mul_add_slice_4k", |b| {
+        b.iter(|| gf256::mul_add_slice(black_box(&mut dst), black_box(&src), 0x57));
+    });
+    g.bench_function("scale_slice_4k", |b| {
+        b.iter(|| gf256::scale_slice(black_box(&mut dst), 0x57));
+    });
+    g.bench_function("mul_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for i in 0..=255u8 {
+                acc ^= gf256::mul(black_box(i), black_box(0xA3));
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode");
+    for (n, k) in [(3usize, 2usize), (5, 3), (5, 4), (9, 7), (12, 8)] {
+        let code = ReedSolomon::new(n, k).unwrap();
+        for size in [1usize << 10, 1 << 16] {
+            let value: Vec<u8> = (0..size).map(|i| i as u8).collect();
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}k{k}"), size),
+                &value,
+                |b, v| b.iter(|| code.encode(black_box(v))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_decode");
+    for (n, k) in [(5usize, 3usize), (9, 7), (12, 8)] {
+        let code = ReedSolomon::new(n, k).unwrap();
+        let size = 1usize << 16;
+        let value: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
+        let frags = code.encode(&value);
+        // Worst case: all-parity subset (never the systematic fast path).
+        let parity: Vec<Fragment> = frags[n - k..].to_vec();
+        let systematic: Vec<Fragment> = frags[..k].to_vec();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("n{n}k{k}_parity"), |b| {
+            b.iter(|| code.decode(black_box(&parity)).unwrap());
+        });
+        g.bench_function(format!("n{n}k{k}_systematic"), |b| {
+            b.iter(|| code.decode(black_box(&systematic)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gf_kernels, bench_encode, bench_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benchmarks of whole simulated protocol operations: static
+//! ABD/TREAS/LDR reads and writes, ARES reads/writes with and without an
+//! installed chain, a full reconfiguration, and raw simulator event
+//! throughput.
+
+use ares_bench::StaticRig;
+use ares_harness::{Scenario, standard_universe};
+use ares_types::{ConfigId, Configuration, ProcessId, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_static_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_register");
+    for (name, cfg) in [
+        ("abd_n3", Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect())),
+        (
+            "treas_n5k3",
+            Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2),
+        ),
+        ("ldr_n5f1", Configuration::ldr(ConfigId(0), (1..=5).map(ProcessId).collect(), 1)),
+    ] {
+        g.bench_function(format!("{name}_write_read_pair"), |b| {
+            b.iter(|| {
+                let mut rig = StaticRig::new(cfg.clone(), 1, 1, 10, 50, 3);
+                rig.write(0, 0, 256, 1);
+                rig.read(1_000, 0);
+                black_box(rig.run().len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ares_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ares");
+    g.bench_function("write_read_no_reconfig", |b| {
+        b.iter(|| {
+            let res = Scenario::new(standard_universe())
+                .clients([100])
+                .seed(1)
+                .write_at(0, 100, 0, Value::filler(256, 1))
+                .read_at(1_000, 100, 0)
+                .run();
+            black_box(res.completions.len())
+        });
+    });
+    g.bench_function("one_reconfiguration", |b| {
+        b.iter(|| {
+            let res = Scenario::new(standard_universe())
+                .clients([200])
+                .seed(2)
+                .recon_at(0, 200, 1)
+                .run();
+            black_box(res.completions.len())
+        });
+    });
+    g.bench_function("migration_write_recon_read", |b| {
+        b.iter(|| {
+            let res = Scenario::new(standard_universe())
+                .clients([100, 200])
+                .seed(3)
+                .write_at(0, 100, 0, Value::filler(256, 1))
+                .recon_at(1_000, 200, 1)
+                .read_at(8_000, 100, 0)
+                .run();
+            black_box(res.completions.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    // Events per second of the raw simulator under protocol load.
+    c.bench_function("sim_events_soak", |b| {
+        b.iter(|| {
+            let mut s = Scenario::new(standard_universe()).clients([100, 101]).seed(7);
+            for i in 0..20u64 {
+                s = s.write_at(i * 100, 100, 0, Value::filler(64, i));
+                s = s.read_at(i * 100 + 50, 101, 0);
+            }
+            let res = s.run();
+            black_box(res.messages_sent)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_static_ops, bench_ares_ops, bench_sim_throughput
+}
+criterion_main!(benches);

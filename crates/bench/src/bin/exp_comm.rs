@@ -1,0 +1,71 @@
+//! **E2 — Theorem 3(ii),(iii) / Lemmas 39–40**: TREAS communication
+//! costs — a write transmits at most `n/k`, a read at most
+//! `(δ + 2) · n/k` (normalized to the value size).
+//!
+//! Workload: saturate the lists with `δ + 1` preliminary writes, then
+//! measure the payload bytes attributed to a fresh write and to a read.
+
+use ares_bench::{header, row, StaticRig};
+use ares_types::{ConfigId, Configuration, OpKind, ProcessId};
+
+const VALUE_SIZE: usize = 9240; // lcm(3,4,5,7,8,11): divisible by every swept k
+
+fn measure(n: usize, k: usize, delta: usize) -> (f64, f64) {
+    let cfg = Configuration::treas(
+        ConfigId(0),
+        (1..=n as u32).map(ProcessId).collect(),
+        k,
+        delta,
+    );
+    let mut rig = StaticRig::new(cfg, 1, 1, 10, 30, 7);
+    // Saturate lists so the read sees worst-case list sizes.
+    for i in 0..(delta + 1) as u64 {
+        rig.write(i * 10_000, 0, VALUE_SIZE, i + 1);
+    }
+    let t0 = (delta as u64 + 1) * 10_000;
+    rig.write(t0, 0, VALUE_SIZE, 999); // the measured write
+    rig.read(t0 + 10_000, 0); // the measured read
+    let h = rig.run();
+    let wr = h
+        .iter()
+        .filter(|c| c.kind == OpKind::Write)
+        .max_by_key(|c| c.invoked_at)
+        .expect("measured write");
+    let rd = h.iter().find(|c| c.kind == OpKind::Read).expect("measured read");
+    (
+        wr.payload_bytes as f64 / VALUE_SIZE as f64,
+        rd.payload_bytes as f64 / VALUE_SIZE as f64,
+    )
+}
+
+fn main() {
+    println!("# E2: TREAS communication cost vs Theorem 3(ii)/(iii)\n");
+    header(&[
+        "n",
+        "k",
+        "δ",
+        "write meas",
+        "write bound n/k",
+        "read meas",
+        "read bound (δ+2)n/k",
+    ]);
+    for (n, k) in [(5usize, 3usize), (5, 4), (9, 5), (9, 7), (12, 8), (15, 11)] {
+        for delta in [1usize, 2, 4] {
+            let (w, r) = measure(n, k, delta);
+            let wb = n as f64 / k as f64;
+            let rb = (delta as f64 + 2.0) * n as f64 / k as f64;
+            row(&[
+                n.to_string(),
+                k.to_string(),
+                delta.to_string(),
+                format!("{w:.3}"),
+                format!("{wb:.3}"),
+                format!("{r:.3}"),
+                format!("{rb:.3}"),
+            ]);
+            assert!(w <= wb + 1e-9, "write cost within bound (n={n},k={k},δ={delta})");
+            assert!(r <= rb + 1e-9, "read cost within bound (n={n},k={k},δ={delta})");
+        }
+    }
+    println!("\nTheorem 3(ii)/(iii) reproduced: write ≤ n/k, read ≤ (δ+2)·n/k ✓");
+}

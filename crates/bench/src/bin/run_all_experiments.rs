@@ -1,0 +1,58 @@
+//! Runs every experiment binary in sequence (the full per-table/figure
+//! regeneration of `DESIGN.md` §3), streaming their output.
+//!
+//! ```text
+//! cargo run -p ares-bench --bin run_all_experiments
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_storage",
+    "exp_comm",
+    "exp_abd_vs_treas",
+    "exp_action_latency",
+    "exp_read_config",
+    "exp_recon_chain",
+    "exp_rw_latency",
+    "exp_catchup",
+    "exp_fig1_trace",
+    "exp_atomicity",
+    "exp_state_transfer",
+    "exp_delta_liveness",
+    "exp_quorum_ablation",
+];
+
+fn main() {
+    let me: PathBuf = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("binary directory").to_path_buf();
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("== {exp}");
+        println!("================================================================\n");
+        let bin = dir.join(exp);
+        let status = if bin.exists() {
+            Command::new(&bin).status()
+        } else {
+            // Fall back to cargo when run via `cargo run` from source.
+            Command::new("cargo").args(["run", "--quiet", "-p", "ares-bench", "--bin", exp]).status()
+        };
+        match status {
+            Ok(st) if st.success() => {}
+            Ok(st) => failures.push(format!("{exp}: exit {st}")),
+            Err(e) => failures.push(format!("{exp}: {e}")),
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments passed ✓", EXPERIMENTS.len());
+    } else {
+        println!("FAILURES:");
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

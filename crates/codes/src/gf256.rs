@@ -1,0 +1,311 @@
+//! Arithmetic over the finite field GF(2^8).
+//!
+//! TREAS (Section 2 of the paper, "Background on erasure coding") stores
+//! values using an `[n, k]` linear MDS code over a finite field `F_q`.
+//! This module provides the field `GF(2^8)` (so `q = 256`), which supports
+//! codes with up to `n = 256` fragments — far more than any configuration
+//! the paper considers.
+//!
+//! The field is realized as `GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1)`, the
+//! conventional `0x11d` primitive polynomial also used by RAID-6 and QR
+//! codes. Addition is XOR; multiplication uses log/antilog tables generated
+//! at compile time from the generator element `x` (i.e. `2`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_codes::gf256::{add, mul, inv};
+//!
+//! let a = 0x53;
+//! let b = 0xca;
+//! assert_eq!(mul(a, inv(a)), 1);        // multiplicative inverse
+//! assert_eq!(add(a, a), 0);             // characteristic 2
+//! assert_eq!(mul(a, b), mul(b, a));     // commutativity
+//! ```
+
+/// The primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (bit pattern
+/// `0b1_0001_1101`) used to construct the field.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Order of the multiplicative group (`FIELD_SIZE - 1`).
+pub const GROUP_ORDER: usize = 255;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    // exp[i] = g^i for the generator g = 2; duplicated to 512 entries so
+    // that `exp[log a + log b]` never needs a modular reduction.
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Extend so products of logs (max 254 + 254 = 508) index directly.
+    let mut j = GROUP_ORDER;
+    while j < 512 {
+        exp[j] = exp[j - GROUP_ORDER];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+
+/// Antilog table: `EXP[i] = 2^i` in GF(256), duplicated over 512 entries.
+pub static EXP: [u8; 512] = TABLES.0;
+
+/// Log table: `LOG[a]` is the discrete log of `a != 0` base 2.
+pub static LOG: [u8; 256] = TABLES.1;
+
+/// Adds two field elements (XOR).
+#[inline(always)]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtracts two field elements. In characteristic 2 this equals [`add`].
+#[inline(always)]
+pub const fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements via the log/antilog tables.
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Returns the multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`; zero has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "attempted to invert 0 in GF(256)");
+    EXP[GROUP_ORDER - LOG[a as usize] as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "attempted to divide by 0 in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + GROUP_ORDER - LOG[b as usize] as usize]
+    }
+}
+
+/// Raises `a` to the integer power `e`.
+pub fn pow(a: u8, e: usize) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = (LOG[a as usize] as usize * e) % GROUP_ORDER;
+    EXP[l]
+}
+
+/// Computes `dst[i] ^= c * src[i]` for all `i` — the inner kernel of
+/// Reed-Solomon encoding (a GF(256) "axpy").
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+/// Computes `dst[i] = c * dst[i]` in place.
+pub fn scale_slice(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = EXP[lc + LOG[*d as usize] as usize];
+        }
+    }
+}
+
+/// Dot product of two equal-length vectors over GF(256).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[u8], b: &[u8]) -> u8 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        acc ^= mul(x, y);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+        for i in 0..GROUP_ORDER {
+            assert_eq!(LOG[EXP[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn exp_table_duplication() {
+        for i in 0..GROUP_ORDER {
+            assert_eq!(EXP[i], EXP[i + GROUP_ORDER]);
+        }
+    }
+
+    #[test]
+    fn additive_identity_and_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(add(a, 0), a);
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplicative_identity() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn inverses_round_trip() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1);
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        // Spot-check associativity on a coarse grid (full 256^3 is slow in
+        // debug builds); commutativity is checked exhaustively.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(13) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(9) {
+                for c in (0..=255u8).step_by(17) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [0u8, 1, 2, 3, 87, 255] {
+            let mut acc = 1u8;
+            for e in 0..20 {
+                assert_eq!(pow(a, e), acc, "a={a} e={e}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1, "0^0 = 1 by convention");
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x1d, 255] {
+            let mut dst: Vec<u8> = (0..=255).rev().collect();
+            let mut expect = dst.clone();
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            mul_add_slice(&mut dst, &src, c);
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn scale_slice_matches_scalar_loop() {
+        let mut v: Vec<u8> = (0..=255).collect();
+        let expect: Vec<u8> = v.iter().map(|&x| mul(x, 0x53)).collect();
+        scale_slice(&mut v, 0x53);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn dot_product_small() {
+        assert_eq!(dot(&[1, 2, 3], &[1, 1, 1]), 1 ^ 2 ^ 3);
+        assert_eq!(dot(&[], &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invert 0")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide by 0")]
+    fn div_zero_panics() {
+        div(3, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Erasure-coding substrate for the ARES / TREAS reproduction.
+//!
+//! The paper ("ARES: Adaptive, Reconfigurable, Erasure coded, atomic
+//! Storage", Cadambe et al.) assumes an `[n, k]` linear MDS code `Φ` over a
+//! finite field: a value of size 1 unit is encoded into `n` coded elements
+//! of size `1/k` each, any `k` of which reconstruct the value. This crate
+//! provides that substrate from scratch:
+//!
+//! * [`gf256`] — arithmetic over GF(2^8);
+//! * [`matrix`] — dense matrix algebra over GF(2^8);
+//! * [`reed_solomon`] — a systematic Vandermonde-based `[n, k]` MDS code;
+//! * [`replication`] — full replication as the degenerate `[n, 1]` code,
+//!   used by the ABD/LDR baselines.
+//!
+//! Everything is deterministic and allocation-light; the encode/decode hot
+//! loops reduce to the GF(256) slice kernels in [`gf256`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ares_codes::{ErasureCode, reed_solomon::ReedSolomon};
+//!
+//! # fn main() -> Result<(), ares_codes::CodeError> {
+//! let code = ReedSolomon::new(6, 4)?; // [n=6, k=4] as in a TREAS config
+//! let frags = code.encode(b"atomic register state");
+//! assert_eq!(frags.len(), 6);
+//! // lose two fragments, still decodable:
+//! let surviving = [&frags[1], &frags[2], &frags[4], &frags[5]].map(Clone::clone);
+//! assert_eq!(code.decode(&surviving)?, b"atomic register state");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod gf256;
+pub mod matrix;
+pub mod reed_solomon;
+pub mod replication;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `[n, k]` parameters of a code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CodeParams {
+    /// Total number of coded elements (one per server).
+    pub n: usize,
+    /// Number of elements required to reconstruct the value.
+    pub k: usize,
+}
+
+impl CodeParams {
+    /// Normalized per-fragment storage cost `1/k` (value size 1 unit).
+    pub fn fragment_cost(&self) -> f64 {
+        1.0 / self.k as f64
+    }
+
+    /// Normalized total storage cost `n/k` for one copy of each fragment.
+    pub fn total_cost(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+}
+
+impl fmt::Display for CodeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.n, self.k)
+    }
+}
+
+/// One coded element `c_i = Φ_i(v)`, tagged with its position in the
+/// codeword and the original value length (needed to strip stripe padding).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fragment {
+    /// Position `i` of this element in the codeword (0-based; the paper's
+    /// association "coded element `c_i` with server `i`").
+    pub index: usize,
+    /// Length in bytes of the original value.
+    pub value_len: usize,
+    /// The coded bytes (`ceil(value_len / k)` of them).
+    pub data: Bytes,
+}
+
+impl Fragment {
+    /// Size of the coded payload in bytes (what a server actually stores).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Errors produced by encoding/decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeError {
+    /// Parameters violate `1 <= k <= n <= 256`.
+    InvalidParams {
+        /// Requested codeword length.
+        n: usize,
+        /// Requested reconstruction threshold.
+        k: usize,
+    },
+    /// Fewer than `k` distinct fragments supplied.
+    NotEnoughFragments {
+        /// Distinct fragments available.
+        have: usize,
+        /// Fragments required (`k`).
+        need: usize,
+    },
+    /// A fragment's index is outside `0..n`.
+    BadFragmentIndex {
+        /// The offending index.
+        index: usize,
+        /// Codeword length.
+        n: usize,
+    },
+    /// Fragments disagree on value length or shard size.
+    InconsistentFragments,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParams { n, k } => {
+                write!(f, "invalid code parameters [n={n}, k={k}]")
+            }
+            CodeError::NotEnoughFragments { have, need } => {
+                write!(f, "not enough fragments to decode: have {have}, need {need}")
+            }
+            CodeError::BadFragmentIndex { index, n } => {
+                write!(f, "fragment index {index} out of range for n={n}")
+            }
+            CodeError::InconsistentFragments => {
+                write!(f, "fragments disagree on value length or shard size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// An `[n, k]` erasure code: encode a value into `n` fragments, decode from
+/// any `k` of them.
+///
+/// Implemented by [`reed_solomon::ReedSolomon`] (true MDS coding) and
+/// [`replication::Replication`] (`k = 1`), which is what lets ARES treat
+/// ABD-style and TREAS-style configurations through one interface.
+pub trait ErasureCode: fmt::Debug + Send + Sync {
+    /// The `[n, k]` parameters.
+    fn params(&self) -> CodeParams;
+
+    /// Encodes `value` into `n` fragments (`Φ(v) = [c_1, .., c_n]`).
+    fn encode(&self, value: &[u8]) -> Vec<Fragment>;
+
+    /// Reconstructs the value from at least `k` distinct fragments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] if fewer than `k` distinct fragments are
+    /// supplied, an index is out of range, or fragments are inconsistent.
+    fn decode(&self, fragments: &[Fragment]) -> Result<Vec<u8>, CodeError>;
+
+    /// Encodes and returns only the fragment for position `index`
+    /// (`Φ_i(v)`); a convenience for server-side re-encoding in the
+    /// ARES-TREAS transfer protocol.
+    fn encode_fragment(&self, value: &[u8], index: usize) -> Fragment {
+        let mut frags = self.encode(value);
+        frags.swap_remove(index)
+    }
+}
+
+/// Builds the code described by `params`: replication when `k == 1`,
+/// Reed-Solomon otherwise.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidParams`] for out-of-range parameters.
+pub fn build_code(params: CodeParams) -> Result<Box<dyn ErasureCode>, CodeError> {
+    if params.k == 1 {
+        Ok(Box::new(replication::Replication::new(params.n)?))
+    } else {
+        Ok(Box::new(reed_solomon::ReedSolomon::new(params.n, params.k)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_code_dispatches_on_k() {
+        let r = build_code(CodeParams { n: 3, k: 1 }).unwrap();
+        assert_eq!(r.params(), CodeParams { n: 3, k: 1 });
+        let rs = build_code(CodeParams { n: 5, k: 3 }).unwrap();
+        assert_eq!(rs.params(), CodeParams { n: 5, k: 3 });
+        assert!(build_code(CodeParams { n: 2, k: 4 }).is_err());
+    }
+
+    #[test]
+    fn costs_match_paper_formulas() {
+        let p = CodeParams { n: 3, k: 2 };
+        assert!((p.total_cost() - 1.5).abs() < 1e-12, "intro example: [3,2] costs 1.5");
+        assert!((p.fragment_cost() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_fragment_matches_full_encode() {
+        let code = build_code(CodeParams { n: 5, k: 3 }).unwrap();
+        let v = b"fragment extraction".to_vec();
+        let all = code.encode(&v);
+        for (i, frag) in all.iter().enumerate() {
+            assert_eq!(&code.encode_fragment(&v, i), frag);
+        }
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = CodeError::NotEnoughFragments { have: 1, need: 3 };
+        assert_eq!(e.to_string(), "not enough fragments to decode: have 1, need 3");
+    }
+}

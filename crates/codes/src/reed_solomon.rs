@@ -1,0 +1,277 @@
+//! Systematic `[n, k]` Reed-Solomon MDS code over GF(2^8).
+//!
+//! This is the code that TREAS instantiates per configuration (Section 2,
+//! "Background on erasure coding"): a value `v` of size 1 unit is split
+//! into `k` elements of size `1/k`, the encoder `Φ` produces `n` coded
+//! elements `c_1..c_n` (also of size `1/k` each), one stored per server,
+//! and *any* `k` of the `n` coded elements suffice to reconstruct `v`.
+//!
+//! The generator matrix is a Vandermonde matrix post-multiplied by the
+//! inverse of its own top `k x k` block, making the code **systematic**:
+//! the first `k` fragments are verbatim data stripes, which keeps
+//! encode/decode cheap in the common case while preserving the MDS
+//! property (every `k x k` row-submatrix stays invertible because the
+//! systematizing transform is invertible).
+
+use crate::matrix::Matrix;
+use crate::{CodeError, CodeParams, ErasureCode, Fragment};
+use bytes::Bytes;
+
+/// Systematic Reed-Solomon `[n, k]` code.
+///
+/// # Examples
+///
+/// ```
+/// use ares_codes::{ErasureCode, reed_solomon::ReedSolomon};
+///
+/// # fn main() -> Result<(), ares_codes::CodeError> {
+/// let code = ReedSolomon::new(5, 3)?;
+/// let value = b"the quick brown fox jumps over the lazy dog".to_vec();
+/// let frags = code.encode(&value);
+/// // any k = 3 fragments reconstruct the value
+/// let subset = [frags[4].clone(), frags[0].clone(), frags[2].clone()];
+/// assert_eq!(code.decode(&subset)?, value);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    params: CodeParams,
+    /// `n x k` systematic generator matrix.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a new `[n, k]` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] unless `1 <= k <= n <= 256`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        if k == 0 || n < k || n > 256 {
+            return Err(CodeError::InvalidParams { n, k });
+        }
+        let vander = Matrix::vandermonde(n, k);
+        let top = vander.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverted()
+            .expect("top block of a Vandermonde matrix is always invertible");
+        let generator = vander.mul(&top_inv);
+        Ok(ReedSolomon { params: CodeParams { n, k }, generator })
+    }
+
+    /// The systematic generator matrix (`n` rows, `k` columns).
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    fn shard_len(&self, value_len: usize) -> usize {
+        value_len.div_ceil(self.params.k).max(1)
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn encode(&self, value: &[u8]) -> Vec<Fragment> {
+        let CodeParams { n, k } = self.params;
+        let shard = self.shard_len(value.len());
+        // Stripe the (zero-padded) value into k data shards.
+        let mut padded = vec![0u8; shard * k];
+        padded[..value.len()].copy_from_slice(value);
+        let shards: Vec<&[u8]> = padded.chunks(shard).collect();
+
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = self.generator.row(i);
+            let mut coded = vec![0u8; shard];
+            for (j, s) in shards.iter().enumerate() {
+                crate::gf256::mul_add_slice(&mut coded, s, row[j]);
+            }
+            out.push(Fragment {
+                index: i,
+                value_len: value.len(),
+                data: Bytes::from(coded),
+            });
+        }
+        out
+    }
+
+    fn decode(&self, fragments: &[Fragment]) -> Result<Vec<u8>, CodeError> {
+        let CodeParams { n, k } = self.params;
+        // Deduplicate by index, validate.
+        let mut chosen: Vec<&Fragment> = Vec::with_capacity(k);
+        let mut seen = vec![false; n];
+        for f in fragments {
+            if f.index >= n {
+                return Err(CodeError::BadFragmentIndex { index: f.index, n });
+            }
+            if !seen[f.index] {
+                seen[f.index] = true;
+                chosen.push(f);
+                if chosen.len() == k {
+                    break;
+                }
+            }
+        }
+        if chosen.len() < k {
+            return Err(CodeError::NotEnoughFragments { have: chosen.len(), need: k });
+        }
+        let value_len = chosen[0].value_len;
+        let shard = self.shard_len(value_len);
+        for f in &chosen {
+            if f.value_len != value_len {
+                return Err(CodeError::InconsistentFragments);
+            }
+            if f.data.len() != shard {
+                return Err(CodeError::InconsistentFragments);
+            }
+        }
+
+        // Fast path: if we have all k systematic fragments, just stitch.
+        let mut sys: Vec<Option<&Fragment>> = vec![None; k];
+        for f in &chosen {
+            if f.index < k {
+                sys[f.index] = Some(f);
+            }
+        }
+        let mut value = vec![0u8; shard * k];
+        if sys.iter().all(Option::is_some) {
+            for (j, f) in sys.iter().enumerate() {
+                let f = f.expect("checked all present");
+                value[j * shard..(j + 1) * shard].copy_from_slice(&f.data);
+            }
+            value.truncate(value_len);
+            return Ok(value);
+        }
+
+        // General path: invert the k x k submatrix of generator rows.
+        let rows: Vec<usize> = chosen.iter().map(|f| f.index).collect();
+        let sub = self.generator.select_rows(&rows);
+        let inv = sub
+            .inverted()
+            .expect("any k distinct rows of an MDS generator are invertible");
+        // data shard j = sum_i inv[j][i] * coded[rows[i]]
+        for j in 0..k {
+            let dst = &mut value[j * shard..(j + 1) * shard];
+            for (i, f) in chosen.iter().enumerate() {
+                crate::gf256::mul_add_slice(dst, &f.data, inv.get(j, i));
+            }
+        }
+        value.truncate(value_len);
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_value(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(ReedSolomon::new(3, 0).is_err());
+        assert!(ReedSolomon::new(2, 3).is_err());
+        assert!(ReedSolomon::new(257, 3).is_err());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::new(256, 200).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix_is_verbatim_data() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let value = sample_value(40); // 4 shards of 10
+        let frags = code.encode(&value);
+        for (j, f) in frags.iter().take(4).enumerate() {
+            assert_eq!(&f.data[..], &value[j * 10..(j + 1) * 10], "shard {j}");
+        }
+    }
+
+    #[test]
+    fn decode_from_systematic_fast_path() {
+        let code = ReedSolomon::new(5, 3).unwrap();
+        let value = sample_value(33);
+        let frags = code.encode(&value);
+        assert_eq!(code.decode(&frags[..3]).unwrap(), value);
+    }
+
+    #[test]
+    fn decode_from_any_k_subset() {
+        let n = 7;
+        let k = 4;
+        let code = ReedSolomon::new(n, k).unwrap();
+        let value = sample_value(101); // not divisible by k: exercises padding
+        let frags = code.encode(&value);
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let subset: Vec<Fragment> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| frags[i].clone())
+                .collect();
+            assert_eq!(code.decode(&subset).unwrap(), value, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn decode_ignores_duplicate_fragments() {
+        let code = ReedSolomon::new(5, 2).unwrap();
+        let value = sample_value(10);
+        let frags = code.encode(&value);
+        let with_dup = vec![frags[3].clone(), frags[3].clone(), frags[4].clone()];
+        assert_eq!(code.decode(&with_dup).unwrap(), value);
+    }
+
+    #[test]
+    fn decode_too_few_fragments_errors() {
+        let code = ReedSolomon::new(5, 3).unwrap();
+        let value = sample_value(9);
+        let frags = code.encode(&value);
+        let err = code.decode(&frags[..2]).unwrap_err();
+        assert_eq!(err, CodeError::NotEnoughFragments { have: 2, need: 3 });
+    }
+
+    #[test]
+    fn decode_bad_index_errors() {
+        let code = ReedSolomon::new(3, 2).unwrap();
+        let value = sample_value(8);
+        let mut frags = code.encode(&value);
+        frags[0].index = 9;
+        assert_eq!(
+            code.decode(&frags).unwrap_err(),
+            CodeError::BadFragmentIndex { index: 9, n: 3 }
+        );
+    }
+
+    #[test]
+    fn empty_value_round_trips() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        let frags = code.encode(&[]);
+        assert_eq!(frags.len(), 4);
+        assert_eq!(code.decode(&frags[1..3]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn fragment_size_is_ceil_len_over_k() {
+        let code = ReedSolomon::new(9, 5).unwrap();
+        let frags = code.encode(&sample_value(101));
+        for f in &frags {
+            assert_eq!(f.data.len(), 101usize.div_ceil(5));
+        }
+    }
+
+    #[test]
+    fn one_of_one_code_is_identity() {
+        let code = ReedSolomon::new(1, 1).unwrap();
+        let value = sample_value(17);
+        let frags = code.encode(&value);
+        assert_eq!(&frags[0].data[..], &value[..]);
+        assert_eq!(code.decode(&frags).unwrap(), value);
+    }
+}

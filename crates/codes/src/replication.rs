@@ -1,0 +1,107 @@
+//! Full replication expressed as a degenerate `[n, 1]` erasure code.
+//!
+//! The paper's baseline algorithms (ABD, LDR) replicate the whole value at
+//! every server. Modelling replication through the same [`ErasureCode`]
+//! trait lets the DAP layer and the ARES-TREAS state-transfer machinery
+//! treat replicated and erasure-coded configurations uniformly (Remark 22:
+//! different DAPs per configuration).
+
+use crate::{CodeError, CodeParams, ErasureCode, Fragment};
+use bytes::Bytes;
+
+/// The trivial `[n, 1]` "code": every fragment is a full copy of the value.
+///
+/// # Examples
+///
+/// ```
+/// use ares_codes::{ErasureCode, replication::Replication};
+///
+/// # fn main() -> Result<(), ares_codes::CodeError> {
+/// let code = Replication::new(3)?;
+/// let frags = code.encode(b"hello");
+/// assert_eq!(frags.len(), 3);
+/// assert_eq!(code.decode(&frags[2..3])?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replication {
+    n: usize,
+}
+
+impl Replication {
+    /// Creates an `n`-way replication scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, CodeError> {
+        if n == 0 {
+            return Err(CodeError::InvalidParams { n, k: 1 });
+        }
+        Ok(Replication { n })
+    }
+}
+
+impl ErasureCode for Replication {
+    fn params(&self) -> CodeParams {
+        CodeParams { n: self.n, k: 1 }
+    }
+
+    fn encode(&self, value: &[u8]) -> Vec<Fragment> {
+        let data = Bytes::copy_from_slice(value);
+        (0..self.n)
+            .map(|index| Fragment { index, value_len: value.len(), data: data.clone() })
+            .collect()
+    }
+
+    fn decode(&self, fragments: &[Fragment]) -> Result<Vec<u8>, CodeError> {
+        let f = fragments
+            .first()
+            .ok_or(CodeError::NotEnoughFragments { have: 0, need: 1 })?;
+        if f.index >= self.n {
+            return Err(CodeError::BadFragmentIndex { index: f.index, n: self.n });
+        }
+        Ok(f.data.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fragments_are_full_copies() {
+        let code = Replication::new(4).unwrap();
+        let frags = code.encode(b"abc");
+        assert_eq!(frags.len(), 4);
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(f.index, i);
+            assert_eq!(&f.data[..], b"abc");
+            assert_eq!(f.value_len, 3);
+        }
+    }
+
+    #[test]
+    fn any_single_fragment_decodes() {
+        let code = Replication::new(3).unwrap();
+        let frags = code.encode(b"xyz");
+        for f in &frags {
+            assert_eq!(code.decode(std::slice::from_ref(f)).unwrap(), b"xyz");
+        }
+    }
+
+    #[test]
+    fn zero_replicas_rejected() {
+        assert!(Replication::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_fragment_set_errors() {
+        let code = Replication::new(2).unwrap();
+        assert_eq!(
+            code.decode(&[]).unwrap_err(),
+            CodeError::NotEnoughFragments { have: 0, need: 1 }
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the erasure-coding substrate.
+
+use ares_codes::reed_solomon::ReedSolomon;
+use ares_codes::replication::Replication;
+use ares_codes::{build_code, CodeParams, ErasureCode, Fragment};
+use proptest::prelude::*;
+
+/// Strategy producing valid `[n, k]` parameters in the range TREAS uses
+/// (`k > n/3` per Theorem 9; we also explore outside it for pure codec
+/// correctness, which holds for any `1 <= k <= n`).
+fn params() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=12).prop_flat_map(|n| (Just(n), 1usize..=n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rs_roundtrip_any_k_subset(
+        (n, k) in params(),
+        value in proptest::collection::vec(any::<u8>(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let code = ReedSolomon::new(n, k).unwrap();
+        let frags = code.encode(&value);
+        prop_assert_eq!(frags.len(), n);
+
+        // Choose a pseudo-random k-subset driven by `seed`.
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..indices.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let subset: Vec<Fragment> =
+            indices[..k].iter().map(|&i| frags[i].clone()).collect();
+        prop_assert_eq!(code.decode(&subset).unwrap(), value);
+    }
+
+    #[test]
+    fn rs_fragment_sizes_obey_normalized_cost(
+        (n, k) in params(),
+        len in 1usize..500,
+    ) {
+        let code = ReedSolomon::new(n, k).unwrap();
+        let value = vec![0xAB; len];
+        let frags = code.encode(&value);
+        for f in &frags {
+            // |c_i| = ceil(|v| / k): the 1/k unit of the paper.
+            prop_assert_eq!(f.data.len(), len.div_ceil(k));
+        }
+        // Total storage n/k of the value size, up to stripe padding.
+        let total: usize = frags.iter().map(|f| f.data.len()).sum();
+        prop_assert!(total >= len * n / k);
+        prop_assert!(total <= (len.div_ceil(k)) * n);
+    }
+
+    #[test]
+    fn rs_decode_fails_below_k((n, k) in params(), len in 1usize..100) {
+        prop_assume!(k >= 2);
+        let code = ReedSolomon::new(n, k).unwrap();
+        let frags = code.encode(&vec![7u8; len]);
+        let res = code.decode(&frags[..k - 1]);
+        prop_assert!(res.is_err());
+    }
+
+    #[test]
+    fn replication_every_fragment_decodes(
+        n in 1usize..10,
+        value in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let code = Replication::new(n).unwrap();
+        let frags = code.encode(&value);
+        for f in &frags {
+            prop_assert_eq!(code.decode(std::slice::from_ref(f)).unwrap(), value.clone());
+        }
+    }
+
+    #[test]
+    fn build_code_roundtrip((n, k) in params(), len in 0usize..200) {
+        let code = build_code(CodeParams { n, k }).unwrap();
+        let value: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let frags = code.encode(&value);
+        // take the *last* k fragments (pure parity for RS when k < n)
+        let subset: Vec<Fragment> = frags[n - k..].to_vec();
+        prop_assert_eq!(code.decode(&subset).unwrap(), value);
+    }
+}

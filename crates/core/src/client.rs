@@ -1,0 +1,297 @@
+//! The ARES client actor: writers, readers and reconfigurers.
+//!
+//! One actor type serves all three client roles (the paper separates the
+//! sets `W`, `R`, `G`; a harness simply sends each actor only the
+//! commands of its role). Commands are queued and executed one at a time
+//! — executions stay well-formed (one outstanding operation per client).
+
+use crate::frames::{Env, FStep, Frame, FrameOut, ReadFrame, ReconFrame, TransferMode, WriteFrame};
+use crate::msg::{ClientCmd, Msg};
+use ares_sim::{Actor, Ctx};
+use ares_types::{
+    ConfigId, ConfigRegistry, ConfigSeq, ObjectId, OpCompletion, OpId, OpKind, ProcessId, Time,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Tunables of a client.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The genesis configuration id `c_0`.
+    pub c0: ConfigId,
+    /// How `update-config` moves data (plain ARES vs ARES-TREAS).
+    pub transfer_mode: TransferMode,
+    /// Paxos backoff unit.
+    pub backoff_unit: Time,
+    /// The objects this deployment manages; a `reconfig` migrates all of
+    /// them during `update-config` (the paper emulates one object, whose
+    /// id is 0).
+    pub objects: Vec<ObjectId>,
+}
+
+impl ClientConfig {
+    /// Plain-ARES client starting from `c0`, managing object 0.
+    pub fn new(c0: ConfigId) -> Self {
+        ClientConfig {
+            c0,
+            transfer_mode: TransferMode::Plain,
+            backoff_unit: 50,
+            objects: vec![ObjectId(0)],
+        }
+    }
+
+    /// Declares the set of objects reconfigurations must migrate.
+    #[must_use]
+    pub fn with_objects(mut self, objects: Vec<ObjectId>) -> Self {
+        assert!(!objects.is_empty(), "a deployment manages at least one object");
+        self.objects = objects;
+        self
+    }
+
+    /// Uses the ARES-TREAS direct state transfer during reconfigurations.
+    #[must_use]
+    pub fn with_direct_transfer(mut self) -> Self {
+        self.transfer_mode = TransferMode::Direct;
+        self
+    }
+}
+
+struct Running {
+    frames: Vec<Frame>,
+    op: OpId,
+    kind: OpKind,
+    obj: ObjectId,
+    invoked_at: Time,
+    write_digest: Option<u64>,
+}
+
+/// The ARES client process.
+pub struct ClientActor {
+    registry: Arc<ConfigRegistry>,
+    config: ClientConfig,
+    /// The client's persistent `cseq` state variable (Alg. 7).
+    cseq: ConfigSeq,
+    rpc: u64,
+    op_seq: u64,
+    queue: VecDeque<ClientCmd>,
+    running: Option<Running>,
+    /// Timer-epoch guard: timers armed for frames that have since been
+    /// popped must not fire into their successors.
+    epoch: u64,
+}
+
+impl ClientActor {
+    /// Creates a client.
+    pub fn new(registry: Arc<ConfigRegistry>, config: ClientConfig) -> Self {
+        let cseq = ConfigSeq::genesis(config.c0);
+        ClientActor {
+            registry,
+            config,
+            cseq,
+            rpc: 0,
+            op_seq: 0,
+            queue: VecDeque::new(),
+            running: None,
+            epoch: 0,
+        }
+    }
+
+    /// The client's current local configuration sequence.
+    pub fn cseq(&self) -> &ConfigSeq {
+        &self.cseq
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.running.is_some() {
+            return;
+        }
+        let Some(cmd) = self.queue.pop_front() else { return };
+        let op = OpId { client: ctx.pid(), seq: self.op_seq };
+        self.op_seq += 1;
+        let (frame, kind, obj, digest) = match cmd {
+            ClientCmd::Write { obj, value } => {
+                let d = value.digest();
+                (
+                    Frame::Write(WriteFrame::new(value, self.cseq.clone())),
+                    OpKind::Write,
+                    obj,
+                    Some(d),
+                )
+            }
+            ClientCmd::Read { obj } => {
+                (Frame::Read(ReadFrame::new(self.cseq.clone())), OpKind::Read, obj, None)
+            }
+            ClientCmd::Recon { target } => {
+                assert!(
+                    self.registry.try_get(target).is_some(),
+                    "reconfig target {target} must be registered"
+                );
+                (
+                    Frame::Recon(ReconFrame::new(
+                        target,
+                        self.cseq.clone(),
+                        self.config.objects.clone(),
+                    )),
+                    OpKind::Recon,
+                    ObjectId(0),
+                    None,
+                )
+            }
+        };
+        if ctx.tracing() {
+            ctx.note(format!("+{}", frame.name()));
+        }
+        self.running = Some(Running {
+            frames: vec![frame],
+            op,
+            kind,
+            obj,
+            invoked_at: ctx.now(),
+            write_digest: digest,
+        });
+        let r = self.running.as_mut().expect("just set");
+        let mut env = Env {
+            me: ctx.pid(),
+            registry: &self.registry,
+            rpc: &mut self.rpc,
+            op,
+            obj,
+            mode: self.config.transfer_mode,
+            backoff_unit: self.config.backoff_unit,
+        };
+        let step = r.frames.last_mut().expect("one frame").start(&mut env);
+        self.pump(step, ctx);
+    }
+
+    /// Applies a frame step, cascading child pushes and completions.
+    fn pump(&mut self, mut step: FStep, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            for (to, m) in step.sends.drain(..) {
+                ctx.send(to, m);
+            }
+            if let Some(after) = step.timer.take() {
+                ctx.set_timer(after, self.epoch);
+            }
+            let Some(r) = self.running.as_mut() else { return };
+            if let Some(frame) = step.push.take() {
+                if ctx.tracing() {
+                    ctx.note(format!("+{}", frame.name()));
+                }
+                r.frames.push(frame);
+                let mut env = Env {
+                    me: ctx.pid(),
+                    registry: &self.registry,
+                    rpc: &mut self.rpc,
+                    op: r.op,
+                    obj: r.obj,
+                    mode: self.config.transfer_mode,
+                    backoff_unit: self.config.backoff_unit,
+                };
+                step = r.frames.last_mut().expect("just pushed").start(&mut env);
+                continue;
+            }
+            if let Some(out) = step.out.take() {
+                let popped = r.frames.pop().expect("a frame completed");
+                if ctx.tracing() {
+                    ctx.note(format!("-{}", popped.name()));
+                }
+                self.epoch += 1; // invalidate any timer of the popped frame
+                if let Some(parent) = r.frames.last_mut() {
+                    let mut env = Env {
+                        me: ctx.pid(),
+                        registry: &self.registry,
+                        rpc: &mut self.rpc,
+                        op: r.op,
+                        obj: r.obj,
+                        mode: self.config.transfer_mode,
+                        backoff_unit: self.config.backoff_unit,
+                    };
+                    step = parent.on_child(out, &mut env);
+                    continue;
+                }
+                // Stack empty: the operation finished.
+                self.finish(out, ctx);
+                return;
+            }
+            return;
+        }
+    }
+
+    fn finish(&mut self, out: FrameOut, ctx: &mut Ctx<'_, Msg>) {
+        let r = self.running.take().expect("an operation was running");
+        let mut c = OpCompletion::new(r.op, r.kind, r.invoked_at, ctx.now());
+        c.obj = r.obj;
+        match out {
+            FrameOut::WriteDone(tag, seq) => {
+                c.tag = Some(tag);
+                c.value_digest = r.write_digest;
+                self.cseq = seq;
+            }
+            FrameOut::ReadDone(tv, seq) => {
+                c.tag = Some(tv.tag);
+                c.value_digest = Some(tv.value.digest());
+                self.cseq = seq;
+            }
+            FrameOut::ReconDone(installed, seq) => {
+                c.installed = Some(installed);
+                self.cseq = seq;
+            }
+            other => unreachable!("operation finished with non-terminal output {other:?}"),
+        }
+        ctx.note(format!(
+            "{:?} {} completed (cseq now {})",
+            c.kind, c.op, self.cseq
+        ));
+        ctx.complete(c);
+        self.start_next(ctx);
+    }
+}
+
+impl Actor<Msg> for ClientActor {
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Cmd(cmd) => {
+                self.queue.push_back(cmd);
+                self.start_next(ctx);
+            }
+            other => {
+                let Some(r) = self.running.as_mut() else { return };
+                let mut env = Env {
+                    me: ctx.pid(),
+                    registry: &self.registry,
+                    rpc: &mut self.rpc,
+                    op: r.op,
+                    obj: r.obj,
+                    mode: self.config.transfer_mode,
+                    backoff_unit: self.config.backoff_unit,
+                };
+                let step = match r.frames.last_mut() {
+                    Some(top) => top.on_msg(from, &other, &mut env),
+                    None => return,
+                };
+                self.pump(step, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Msg>) {
+        if token != self.epoch {
+            return; // stale timer from a popped frame
+        }
+        let Some(r) = self.running.as_mut() else { return };
+        let mut env = Env {
+            me: ctx.pid(),
+            registry: &self.registry,
+            rpc: &mut self.rpc,
+            op: r.op,
+            obj: r.obj,
+            mode: self.config.transfer_mode,
+            backoff_unit: self.config.backoff_unit,
+        };
+        let step = match r.frames.last_mut() {
+            Some(top) => top.on_timer(&mut env),
+            None => return,
+        };
+        self.pump(step, ctx);
+    }
+}

@@ -1,0 +1,278 @@
+//! The unified wire-message type of an ARES deployment.
+//!
+//! One simulated network carries four protocol families — DAP traffic
+//! (reads/writes inside a configuration), consensus (`c.Con`), the
+//! configuration-discovery service (`READ-CONFIG` / `WRITE-CONFIG` of
+//! Alg. 6), and the ARES-TREAS state-transfer messages of Alg. 9 — plus
+//! harness commands that invoke client operations.
+
+use crate::repair::RepairMsg;
+use ares_codes::Fragment;
+use ares_consensus::ConMsg;
+use ares_dap::DapMsg;
+use ares_sim::SimMessage;
+use ares_types::{ConfigEntry, ConfigId, ObjectId, OpId, ProcessId, RpcId, Tag, Value};
+
+/// Configuration-service messages (Alg. 4 / Alg. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgMsg {
+    /// `READ-CONFIG`: ask a server of configuration `base` for its
+    /// `nextC` pointer.
+    ReadConfig {
+        /// The configuration whose successor pointer is read.
+        base: ConfigId,
+        /// Phase id.
+        rpc: RpcId,
+        /// Operation attribution.
+        op: OpId,
+    },
+    /// Reply to `ReadConfig`: the server's `nextC` (or `⊥`).
+    NextC {
+        /// The configuration whose pointer this is.
+        base: ConfigId,
+        /// Echoed phase id.
+        rpc: RpcId,
+        /// The successor entry, `None` for `⊥`.
+        next: Option<ConfigEntry>,
+        /// Operation attribution.
+        op: OpId,
+    },
+    /// `WRITE-CONFIG`: install `entry` as the successor of `base`.
+    WriteConfig {
+        /// The configuration whose pointer is written.
+        base: ConfigId,
+        /// The successor entry `⟨cfg, status⟩`.
+        entry: ConfigEntry,
+        /// Phase id.
+        rpc: RpcId,
+        /// Operation attribution.
+        op: OpId,
+    },
+    /// Ack of `WriteConfig`.
+    CfgAck {
+        /// The configuration whose pointer was written.
+        base: ConfigId,
+        /// Echoed phase id.
+        rpc: RpcId,
+        /// Operation attribution.
+        op: OpId,
+    },
+}
+
+impl CfgMsg {
+    /// Operation attribution.
+    pub fn op(&self) -> OpId {
+        match self {
+            CfgMsg::ReadConfig { op, .. }
+            | CfgMsg::NextC { op, .. }
+            | CfgMsg::WriteConfig { op, .. }
+            | CfgMsg::CfgAck { op, .. } => *op,
+        }
+    }
+}
+
+/// ARES-TREAS direct state-transfer messages (Section 5, Algs. 8–9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XferMsg {
+    /// `REQ-FW-CODE-ELEM` delivered to the servers of the source
+    /// configuration via the `md-primitive` (modelled as an atomic
+    /// broadcast: the reconfigurer emits all copies in one step, so
+    /// either every live source server receives it or — if the client
+    /// crashed before that step — none does).
+    ReqFwd {
+        /// The tag whose coded elements must be forwarded.
+        tag: Tag,
+        /// Source configuration `C`.
+        src: ConfigId,
+        /// Destination configuration `C'`.
+        dst: ConfigId,
+        /// The object.
+        obj: ObjectId,
+        /// The reconfiguration client to ack.
+        rc: ProcessId,
+        /// Phase id (for the reconfigurer's ack collection).
+        rpc: RpcId,
+        /// Operation attribution.
+        op: OpId,
+    },
+    /// `FWD-CODE-ELEM`: a source server forwards its coded element for
+    /// `tag` to a destination server.
+    FwdElem {
+        /// The tag.
+        tag: Tag,
+        /// The forwarded coded element (under the *source* code).
+        frag: Fragment,
+        /// Source configuration (defines the decoder).
+        src: ConfigId,
+        /// Destination configuration (defines the re-encoder).
+        dst: ConfigId,
+        /// The object.
+        obj: ObjectId,
+        /// The reconfiguration client to ack.
+        rc: ProcessId,
+        /// Phase id.
+        rpc: RpcId,
+        /// Operation attribution.
+        op: OpId,
+    },
+    /// Destination-server ack to the reconfiguration client, sent once
+    /// the tag is in its `List`.
+    XferAck {
+        /// Destination configuration.
+        dst: ConfigId,
+        /// The object.
+        obj: ObjectId,
+        /// The tag that is now locally stored.
+        tag: Tag,
+        /// Echoed phase id.
+        rpc: RpcId,
+        /// Operation attribution.
+        op: OpId,
+    },
+}
+
+impl XferMsg {
+    /// Operation attribution.
+    pub fn op(&self) -> OpId {
+        match self {
+            XferMsg::ReqFwd { op, .. }
+            | XferMsg::FwdElem { op, .. }
+            | XferMsg::XferAck { op, .. } => *op,
+        }
+    }
+}
+
+/// Harness commands that invoke client operations (injected by the
+/// environment, not part of the protocol).
+#[derive(Debug, Clone)]
+pub enum ClientCmd {
+    /// Invoke `write(value)` on `obj`.
+    Write {
+        /// Target object.
+        obj: ObjectId,
+        /// Value to write.
+        value: Value,
+    },
+    /// Invoke `read()` on `obj`.
+    Read {
+        /// Target object.
+        obj: ObjectId,
+    },
+    /// Invoke `reconfig(target)`.
+    Recon {
+        /// The configuration id to propose.
+        target: ConfigId,
+    },
+}
+
+/// The unified message type.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// DAP traffic.
+    Dap(DapMsg),
+    /// Consensus traffic.
+    Con(ConMsg),
+    /// Configuration-service traffic.
+    Cfg(CfgMsg),
+    /// State-transfer traffic.
+    Xfer(XferMsg),
+    /// Fragment-repair traffic (this reproduction's future-work
+    /// extension; see `crate::repair`).
+    Repair(RepairMsg),
+    /// Harness command.
+    Cmd(ClientCmd),
+}
+
+impl SimMessage for Msg {
+    fn payload_bytes(&self) -> u64 {
+        match self {
+            Msg::Dap(m) => m.payload_bytes(),
+            Msg::Xfer(XferMsg::FwdElem { frag, .. }) => frag.data.len() as u64,
+            Msg::Repair(m) => m.payload_bytes(),
+            _ => 0,
+        }
+    }
+
+    fn op(&self) -> Option<OpId> {
+        match self {
+            Msg::Dap(m) => m.op(),
+            Msg::Con(m) => m.op(),
+            Msg::Cfg(m) => Some(m.op()),
+            Msg::Xfer(m) => Some(m.op()),
+            Msg::Repair(m) => m.op(),
+            Msg::Cmd(_) => None,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Msg::Dap(m) => m.label(),
+            Msg::Con(m) => format!("CON.{m:?}")
+                .split([' ', '{'])
+                .next()
+                .unwrap_or("CON")
+                .to_string(),
+            Msg::Cfg(CfgMsg::ReadConfig { base, .. }) => format!("READ-CONFIG[{base}]"),
+            Msg::Cfg(CfgMsg::NextC { base, next, .. }) => match next {
+                Some(e) => format!("NEXT-C[{base}]={e}"),
+                None => format!("NEXT-C[{base}]=⊥"),
+            },
+            Msg::Cfg(CfgMsg::WriteConfig { base, entry, .. }) => {
+                format!("WRITE-CONFIG[{base}]={entry}")
+            }
+            Msg::Cfg(CfgMsg::CfgAck { base, .. }) => format!("CFG-ACK[{base}]"),
+            Msg::Xfer(XferMsg::ReqFwd { tag, src, dst, .. }) => {
+                format!("REQ-FW-CODE-ELEM[{src}->{dst}]@{tag}")
+            }
+            Msg::Xfer(XferMsg::FwdElem { tag, src, dst, .. }) => {
+                format!("FWD-CODE-ELEM[{src}->{dst}]@{tag}")
+            }
+            Msg::Xfer(XferMsg::XferAck { dst, tag, .. }) => format!("XFER-ACK[{dst}]@{tag}"),
+            Msg::Repair(RepairMsg::Trigger { cfg, .. }) => format!("REPAIR-TRIGGER[{cfg}]"),
+            Msg::Repair(RepairMsg::Query { cfg, .. }) => format!("REPAIR-QUERY[{cfg}]"),
+            Msg::Repair(RepairMsg::Lists { cfg, .. }) => format!("REPAIR-LISTS[{cfg}]"),
+            Msg::Cmd(ClientCmd::Write { .. }) => "INVOKE-WRITE".into(),
+            Msg::Cmd(ClientCmd::Read { .. }) => "INVOKE-READ".into(),
+            Msg::Cmd(ClientCmd::Recon { target }) => format!("INVOKE-RECON({target})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn op() -> OpId {
+        OpId { client: ProcessId(1), seq: 0 }
+    }
+
+    #[test]
+    fn payload_bytes_counts_fragments_only() {
+        let m = Msg::Xfer(XferMsg::FwdElem {
+            tag: Tag::ZERO,
+            frag: Fragment { index: 0, value_len: 30, data: Bytes::from(vec![0; 10]) },
+            src: ConfigId(0),
+            dst: ConfigId(1),
+            obj: ObjectId(0),
+            rc: ProcessId(9),
+            rpc: RpcId(1),
+            op: op(),
+        });
+        assert_eq!(m.payload_bytes(), 10);
+        let m = Msg::Cfg(CfgMsg::ReadConfig { base: ConfigId(0), rpc: RpcId(1), op: op() });
+        assert_eq!(m.payload_bytes(), 0);
+        assert_eq!(m.op(), Some(op()));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let m = Msg::Cfg(CfgMsg::WriteConfig {
+            base: ConfigId(2),
+            entry: ConfigEntry::pending(ConfigId(3)),
+            rpc: RpcId(4),
+            op: op(),
+        });
+        assert_eq!(m.label(), "WRITE-CONFIG[c2]=⟨c3,P⟩");
+    }
+}

@@ -1,0 +1,535 @@
+//! The unified ARES server actor.
+//!
+//! One server process plays every server-side role of the paper at once:
+//!
+//! * DAP storage for each configuration it belongs to (Alg. 3 / Alg. 12 /
+//!   Alg. 13 state, via [`ares_dap::server::DapServer`]);
+//! * Paxos acceptor for the consensus instance of each configuration
+//!   (`c.Con`);
+//! * the `nextC` successor pointer of the configuration-discovery
+//!   service (Alg. 6);
+//! * the ARES-TREAS state-transfer protocol (Alg. 9): forwarding its own
+//!   coded elements on `REQ-FW-CODE-ELEM`, and accumulating / decoding /
+//!   re-encoding forwarded elements in the `D` set when it is a member of
+//!   the destination configuration.
+
+use crate::msg::{CfgMsg, Msg, XferMsg};
+use crate::repair::{RepairMsg, RepairProgress, RepairTask};
+use ares_codes::{build_code, Fragment};
+use ares_consensus::Acceptor;
+use ares_dap::server::DapServer;
+use ares_sim::{Actor, Ctx};
+use ares_types::{
+    ConfigEntry, ConfigId, ConfigRegistry, DapKind, ObjectId, ProcessId, Status, Tag,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The ARES server process.
+pub struct ServerActor {
+    me: ProcessId,
+    registry: Arc<ConfigRegistry>,
+    /// DAP state for every configuration/object this server serves.
+    pub dap: DapServer,
+    /// One Paxos acceptor per consensus instance (keyed by base config).
+    acceptors: HashMap<ConfigId, Acceptor>,
+    /// `nextC` per configuration this server belongs to (`⊥` = absent).
+    nextc: HashMap<ConfigId, ConfigEntry>,
+    /// ARES-TREAS `D` sets: forwarded elements not yet in the `List`,
+    /// keyed by (destination config, object, tag).
+    dset: HashMap<(ConfigId, ObjectId, Tag), Vec<Fragment>>,
+    /// ARES-TREAS `Recons` sets: reconfigurers already acked, keyed by
+    /// (destination config, object).
+    recons: HashMap<(ConfigId, ObjectId), HashSet<ProcessId>>,
+    /// In-flight fragment repairs (one per (cfg, obj)).
+    repairs: HashMap<(ConfigId, ObjectId), RepairTask>,
+    repair_rpc: u64,
+}
+
+impl ServerActor {
+    /// Creates a server.
+    pub fn new(me: ProcessId, registry: Arc<ConfigRegistry>) -> Self {
+        ServerActor {
+            me,
+            registry: registry.clone(),
+            dap: DapServer::new(me, registry),
+            acceptors: HashMap::new(),
+            nextc: HashMap::new(),
+            dset: HashMap::new(),
+            recons: HashMap::new(),
+            repairs: HashMap::new(),
+            repair_rpc: 0,
+        }
+    }
+
+    /// This server's id.
+    pub fn pid(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The `nextC` pointer for `base` (test/inspection hook).
+    pub fn next_config(&self, base: ConfigId) -> Option<ConfigEntry> {
+        self.nextc.get(&base).copied()
+    }
+
+    /// Bytes of object payload stored (DAP lists/replicas plus pending
+    /// transfer elements) — the per-server storage cost.
+    pub fn storage_bytes(&self) -> u64 {
+        let pending: u64 = self
+            .dset
+            .values()
+            .map(|v| v.iter().map(|f| f.data.len() as u64).sum::<u64>())
+            .sum();
+        self.dap.storage_bytes() + pending
+    }
+
+    fn handle_cfg(&mut self, from: ProcessId, msg: CfgMsg) -> Vec<(ProcessId, Msg)> {
+        match msg {
+            CfgMsg::ReadConfig { base, rpc, op } => {
+                let next = self.nextc.get(&base).copied();
+                vec![(from, Msg::Cfg(CfgMsg::NextC { base, rpc, next, op }))]
+            }
+            CfgMsg::WriteConfig { base, entry, rpc, op } => {
+                // Alg. 6: update if nextC = ⊥ or nextC.status = P; once
+                // F, the pointer never changes (Lemma 46).
+                match self.nextc.get_mut(&base) {
+                    None => {
+                        self.nextc.insert(base, entry);
+                    }
+                    Some(cur) if cur.status == Status::Pending => {
+                        debug_assert_eq!(
+                            cur.cfg, entry.cfg,
+                            "consensus guarantees a unique successor per configuration"
+                        );
+                        *cur = entry;
+                    }
+                    Some(_) => {}
+                }
+                vec![(from, Msg::Cfg(CfgMsg::CfgAck { base, rpc, op }))]
+            }
+            CfgMsg::NextC { .. } | CfgMsg::CfgAck { .. } => Vec::new(),
+        }
+    }
+
+    fn handle_xfer(&mut self, _from: ProcessId, msg: XferMsg) -> Vec<(ProcessId, Msg)> {
+        match msg {
+            // Source side (Alg. 9 top): if (t, e) ∈ List, forward e to
+            // every destination server.
+            XferMsg::ReqFwd { tag, src, dst, obj, rc, rpc, op } => {
+                let Some(dst_cfg) = self.registry.try_get(dst).cloned() else {
+                    return Vec::new();
+                };
+                let (tag, frag) = match self.registry.try_get(src).map(|c| c.dap) {
+                    Some(DapKind::Treas { .. }) => {
+                        let list = &self.dap.treas_state(src, obj).list;
+                        match list.get(&tag).cloned().flatten() {
+                            Some(f) => (tag, Some(f)),
+                            None => {
+                                // The requested tag's element was garbage-
+                                // collected (δ newer writes overtook it):
+                                // forward the newest element we still hold
+                                // with tag' > tag — it carries an at least
+                                // as recent value, so the destination
+                                // quorum still ends up ≥ the requested tag.
+                                match list
+                                    .iter()
+                                    .rev()
+                                    .find(|(t, f)| **t > tag && f.is_some())
+                                {
+                                    Some((t, f)) => (*t, f.clone()),
+                                    None => (tag, None),
+                                }
+                            }
+                        }
+                    }
+                    Some(DapKind::Abd) | Some(DapKind::Ldr { .. }) => {
+                        // Replicated source: the "coded element" is the
+                        // full value under the [n, 1] code, if this
+                        // server's replica is at least as recent.
+                        let st = self.dap.abd_state(src, obj);
+                        if st.tag >= tag {
+                            let tag = st.tag;
+                            let idx = self
+                                .registry
+                                .get(src)
+                                .server_index(self.me)
+                                .unwrap_or(0);
+                            (
+                                tag,
+                                Some(Fragment {
+                                    index: idx,
+                                    value_len: st.value.len(),
+                                    data: st.value.bytes().clone(),
+                                }),
+                            )
+                        } else {
+                            (tag, None)
+                        }
+                    }
+                    None => (tag, None),
+                };
+                let Some(frag) = frag else { return Vec::new() };
+                dst_cfg
+                    .servers
+                    .iter()
+                    .map(|&s| {
+                        (
+                            s,
+                            Msg::Xfer(XferMsg::FwdElem {
+                                tag,
+                                frag: frag.clone(),
+                                src,
+                                dst,
+                                obj,
+                                rc,
+                                rpc,
+                                op,
+                            }),
+                        )
+                    })
+                    .collect()
+            }
+            // Destination side (Alg. 9 bottom).
+            XferMsg::FwdElem { tag, frag, src, dst, obj, rc, rpc, op } => {
+                let Some(dst_cfg) = self.registry.try_get(dst).cloned() else {
+                    return Vec::new();
+                };
+                let DapKind::Treas { delta, .. } = dst_cfg.dap else {
+                    // Replicated destination: a forwarded element under a
+                    // [n,1] source code *is* the value; seed the replica.
+                    if src_is_replicated(&self.registry, src) {
+                        self.dap.seed_abd(
+                            dst,
+                            obj,
+                            ares_types::TagValue::new(
+                                tag,
+                                ares_types::Value::new(frag.data.clone()),
+                            ),
+                        );
+                        return vec![(
+                            rc,
+                            Msg::Xfer(XferMsg::XferAck { dst, obj, tag, rpc, op }),
+                        )];
+                    }
+                    return Vec::new();
+                };
+                if self.recons.get(&(dst, obj)).is_some_and(|s| s.contains(&rc)) {
+                    return Vec::new(); // rc already served
+                }
+                let in_list = self
+                    .dap
+                    .treas_state(dst, obj)
+                    .list
+                    .contains_key(&tag);
+                if !in_list {
+                    // D ← D ∪ {⟨t, e_i⟩}
+                    let d = self.dset.entry((dst, obj, tag)).or_default();
+                    if !d.iter().any(|f| f.index == frag.index) {
+                        d.push(frag);
+                    }
+                    // isDecodable(D, t)?
+                    let src_params = self.registry.get(src).code_params();
+                    let decodable = self.dset[&(dst, obj, tag)].len() >= src_params.k;
+                    if decodable {
+                        let decoder =
+                            build_code(src_params).expect("valid source code");
+                        if let Ok(value) =
+                            decoder.decode(&self.dset[&(dst, obj, tag)])
+                        {
+                            // Re-encode with the destination code and
+                            // store own element; D keeps the tag only.
+                            self.dset.remove(&(dst, obj, tag));
+                            let enc = build_code(dst_cfg.code_params())
+                                .expect("valid destination code");
+                            let idx = dst_cfg
+                                .server_index(self.me)
+                                .expect("we are a member of dst");
+                            let my_elem = enc.encode_fragment(&value, idx);
+                            self.dap
+                                .treas_state(dst, obj)
+                                .insert_and_gc(tag, my_elem, delta);
+                        }
+                    }
+                }
+                // If (t, *) ∈ List now: serve rc and ack.
+                if self.dap.treas_state(dst, obj).list.contains_key(&tag) {
+                    self.recons.entry((dst, obj)).or_default().insert(rc);
+                    vec![(rc, Msg::Xfer(XferMsg::XferAck { dst, obj, tag, rpc, op }))]
+                } else {
+                    Vec::new()
+                }
+            }
+            XferMsg::XferAck { .. } => Vec::new(),
+        }
+    }
+}
+
+impl ServerActor {
+    fn handle_repair(&mut self, from: ProcessId, msg: RepairMsg) -> Vec<(ProcessId, Msg)> {
+        match msg {
+            RepairMsg::Trigger { cfg, obj } => {
+                let Some(config) = self.registry.try_get(cfg).cloned() else {
+                    return Vec::new();
+                };
+                if config.server_index(self.me).is_none() {
+                    return Vec::new(); // not a member: nothing to repair
+                }
+                self.repair_rpc += 1;
+                let (task, sends) = RepairTask::start(
+                    config,
+                    obj,
+                    self.me,
+                    ares_types::RpcId(self.repair_rpc),
+                );
+                self.repairs.insert((cfg, obj), task);
+                sends
+            }
+            RepairMsg::Query { cfg, obj, rpc, op } => {
+                let list = self.dap.treas_state(cfg, obj).to_entries();
+                vec![(from, Msg::Repair(RepairMsg::Lists { cfg, obj, rpc, list, op }))]
+            }
+            lists @ RepairMsg::Lists { .. } => {
+                let RepairMsg::Lists { cfg, obj, .. } = &lists else { unreachable!() };
+                let key = (*cfg, *obj);
+                let Some(task) = self.repairs.get_mut(&key) else {
+                    return Vec::new();
+                };
+                if let RepairProgress::Done { entries } = task.on_lists(from, &lists, self.me)
+                {
+                    let delta = self
+                        .registry
+                        .get(key.0)
+                        .delta()
+                        .unwrap_or(usize::MAX / 2);
+                    let st = self.dap.treas_state(key.0, key.1);
+                    for (tag, frag) in entries {
+                        match frag {
+                            Some(f) => st.insert_and_gc(tag, f, delta),
+                            None => {
+                                st.list.entry(tag).or_insert(None);
+                            }
+                        }
+                    }
+                    self.repairs.remove(&key);
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+fn src_is_replicated(registry: &ConfigRegistry, src: ConfigId) -> bool {
+    matches!(
+        registry.try_get(src).map(|c| c.dap),
+        Some(DapKind::Abd) | Some(DapKind::Ldr { .. })
+    )
+}
+
+impl Actor<Msg> for ServerActor {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let replies = match msg {
+            Msg::Dap(m) => self
+                .dap
+                .handle(from, m)
+                .into_iter()
+                .map(|(to, m)| (to, Msg::Dap(m)))
+                .collect(),
+            Msg::Con(m) => {
+                let inst = m.instance();
+                self.acceptors
+                    .entry(inst)
+                    .or_default()
+                    .handle(from, m)
+                    .into_iter()
+                    .map(|(to, m)| (to, Msg::Con(m)))
+                    .collect()
+            }
+            Msg::Cfg(m) => self.handle_cfg(from, m),
+            Msg::Xfer(m) => self.handle_xfer(from, m),
+            Msg::Repair(m) => self.handle_repair(from, m),
+            Msg::Cmd(_) => Vec::new(), // commands are for clients
+        };
+        for (to, m) in replies {
+            ctx.send(to, m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_types::{Configuration, ObjectId, OpId, RpcId, TagValue, Value};
+
+    fn registry() -> Arc<ConfigRegistry> {
+        ConfigRegistry::from_configs([
+            Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect()),
+            Configuration::treas(ConfigId(1), (4..=8).map(ProcessId).collect(), 3, 2),
+            Configuration::treas(ConfigId(2), (6..=10).map(ProcessId).collect(), 4, 2),
+        ])
+    }
+
+    fn op() -> OpId {
+        OpId { client: ProcessId(200), seq: 0 }
+    }
+
+    fn wc(base: u32, entry: ConfigEntry) -> CfgMsg {
+        CfgMsg::WriteConfig { base: ConfigId(base), entry, rpc: RpcId(1), op: op() }
+    }
+
+    #[test]
+    fn next_config_pointer_is_monotone_p_to_f() {
+        let mut s = ServerActor::new(ProcessId(1), registry());
+        // ⊥ -> P
+        s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::pending(ConfigId(1))));
+        assert_eq!(s.next_config(ConfigId(0)), Some(ConfigEntry::pending(ConfigId(1))));
+        // P -> F
+        s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::finalized(ConfigId(1))));
+        assert_eq!(s.next_config(ConfigId(0)), Some(ConfigEntry::finalized(ConfigId(1))));
+        // F -> P is refused (Lemma 46)
+        s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::pending(ConfigId(1))));
+        assert_eq!(s.next_config(ConfigId(0)), Some(ConfigEntry::finalized(ConfigId(1))));
+    }
+
+    #[test]
+    fn read_config_returns_bottom_then_pointer() {
+        let mut s = ServerActor::new(ProcessId(1), registry());
+        let q = CfgMsg::ReadConfig { base: ConfigId(0), rpc: RpcId(9), op: op() };
+        let r = s.handle_cfg(ProcessId(200), q.clone());
+        match &r[0].1 {
+            Msg::Cfg(CfgMsg::NextC { next, .. }) => assert!(next.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::pending(ConfigId(1))));
+        let r = s.handle_cfg(ProcessId(200), q);
+        match &r[0].1 {
+            Msg::Cfg(CfgMsg::NextC { next, .. }) => {
+                assert_eq!(*next, Some(ConfigEntry::pending(ConfigId(1))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abd_source_forwards_newer_value_when_requested_tag_superseded() {
+        // Server 1 (ABD member of c0) holds tag (3, p9); a transfer asks
+        // for tag (2, p9): the server must forward its newer state.
+        let mut s = ServerActor::new(ProcessId(1), registry());
+        let newer = Tag::new(3, ProcessId(9));
+        s.dap.seed_abd(ConfigId(0), ObjectId(0), TagValue::new(newer, Value::filler(30, 1)));
+        let req = XferMsg::ReqFwd {
+            tag: Tag::new(2, ProcessId(9)),
+            src: ConfigId(0),
+            dst: ConfigId(1),
+            obj: ObjectId(0),
+            rc: ProcessId(200),
+            rpc: RpcId(1),
+            op: op(),
+        };
+        let out = s.handle_xfer(ProcessId(200), req);
+        assert_eq!(out.len(), 5, "forwards to every destination server");
+        match &out[0].1 {
+            Msg::Xfer(XferMsg::FwdElem { tag, frag, .. }) => {
+                assert_eq!(*tag, newer, "forwards the newer tag");
+                assert_eq!(frag.data.len(), 30, "full replica as [n,1] fragment");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abd_source_with_stale_state_stays_silent() {
+        let mut s = ServerActor::new(ProcessId(1), registry());
+        // Holds only (1, p9) but the transfer wants (2, p9).
+        s.dap.seed_abd(
+            ConfigId(0),
+            ObjectId(0),
+            TagValue::new(Tag::new(1, ProcessId(9)), Value::filler(10, 1)),
+        );
+        let req = XferMsg::ReqFwd {
+            tag: Tag::new(2, ProcessId(9)),
+            src: ConfigId(0),
+            dst: ConfigId(1),
+            obj: ObjectId(0),
+            rc: ProcessId(200),
+            rpc: RpcId(1),
+            op: op(),
+        };
+        assert!(s.handle_xfer(ProcessId(200), req).is_empty());
+    }
+
+    #[test]
+    fn destination_decodes_after_k_fragments_and_acks_once() {
+        // Destination server 6 (member of c1=[5,3] and c2=[5,4]) receives
+        // fragments of a [5,3]-coded value one by one.
+        let reg = registry();
+        let mut s = ServerActor::new(ProcessId(6), reg.clone());
+        let v = Value::filler(90, 5);
+        let src_code = build_code(reg.get(ConfigId(1)).code_params()).unwrap();
+        let frags = src_code.encode(v.as_bytes());
+        let tag = Tag::new(7, ProcessId(9));
+        let fwd = |i: usize| XferMsg::FwdElem {
+            tag,
+            frag: frags[i].clone(),
+            src: ConfigId(1),
+            dst: ConfigId(2),
+            obj: ObjectId(0),
+            rc: ProcessId(200),
+            rpc: RpcId(4),
+            op: op(),
+        };
+        assert!(s.handle_xfer(ProcessId(4), fwd(0)).is_empty(), "1 < k: no ack yet");
+        assert!(s.handle_xfer(ProcessId(5), fwd(1)).is_empty(), "2 < k: no ack yet");
+        let out = s.handle_xfer(ProcessId(6), fwd(2));
+        assert_eq!(out.len(), 1, "k-th fragment decodes and acks");
+        match &out[0].1 {
+            Msg::Xfer(XferMsg::XferAck { tag: t, .. }) => assert_eq!(*t, tag),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The server re-encoded its own element under c2's [5,4] code.
+        let st = s.dap.treas_state_ref(ConfigId(2), ObjectId(0)).unwrap();
+        let elem = st.list.get(&tag).cloned().flatten().expect("element stored");
+        let dst_code = build_code(reg.get(ConfigId(2)).code_params()).unwrap();
+        let my_index = reg.get(ConfigId(2)).server_index(ProcessId(6)).unwrap();
+        assert_eq!(elem, dst_code.encode_fragment(v.as_bytes(), my_index));
+        // A duplicate forward for the same rc is ignored (Recons set).
+        assert!(s.handle_xfer(ProcessId(7), fwd(3)).is_empty());
+        // ...but a different reconfigurer still gets an ack.
+        let other_rc = XferMsg::FwdElem {
+            tag,
+            frag: frags[3].clone(),
+            src: ConfigId(1),
+            dst: ConfigId(2),
+            obj: ObjectId(0),
+            rc: ProcessId(201),
+            rpc: RpcId(8),
+            op: op(),
+        };
+        let out = s.handle_xfer(ProcessId(7), other_rc);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, ProcessId(201));
+    }
+
+    #[test]
+    fn storage_accounting_includes_pending_transfer_elements() {
+        let reg = registry();
+        let mut s = ServerActor::new(ProcessId(6), reg.clone());
+        let src_code = build_code(reg.get(ConfigId(1)).code_params()).unwrap();
+        let frags = src_code.encode(Value::filler(90, 5).as_bytes());
+        let fwd = XferMsg::FwdElem {
+            tag: Tag::new(1, ProcessId(9)),
+            frag: frags[0].clone(),
+            src: ConfigId(1),
+            dst: ConfigId(2),
+            obj: ObjectId(0),
+            rc: ProcessId(200),
+            rpc: RpcId(1),
+            op: op(),
+        };
+        s.handle_xfer(ProcessId(4), fwd);
+        assert_eq!(s.storage_bytes(), 30, "1 pending fragment of ceil(90/3) bytes");
+    }
+}

@@ -1,0 +1,710 @@
+//! Client-side engines for the three DAP implementations.
+//!
+//! A [`DapCall`] executes one primitive (`get-tag`, `get-data` or
+//! `put-data`) against one configuration, as a pure state machine: the
+//! caller transmits the [`Step`] sends, feeds replies back through
+//! [`DapCall::on_message`] and timer expirations through
+//! [`DapCall::on_timer`], and receives a [`DapOutput`] when the quorum
+//! condition of the underlying algorithm is met.
+//!
+//! * **ABD** (Alg. 12): majority queries / writes of full replicas.
+//! * **TREAS** (Alg. 2): `⌈(n+k)/2⌉`-threshold phases over coded
+//!   elements; `get-data` returns the highest tag that is seen in at
+//!   least `k` lists *and* whose value is decodable from at least `k`
+//!   lists (`t^*_max = t^{dec}_max`), retrying otherwise — the case the
+//!   paper describes as "the read does not complete" until enough
+//!   elements appear, which Theorem 9 bounds by `δ`.
+//! * **LDR** (Alg. 13): directory majority for metadata, `f + 1` of
+//!   `2f + 1` replicas for data.
+
+use crate::{DapAction, DapBody, DapMsg, DapOutput, Hdr, ListEntry};
+use ares_codes::{build_code, Fragment};
+use ares_types::{
+    Configuration, DapKind, ObjectId, OpId, ProcessId, RpcId, Step, Tag, TagValue, Time, Value,
+    TAG0,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Static context of a DAP call.
+#[derive(Debug, Clone)]
+pub struct DapCtx {
+    /// The configuration the primitive runs in.
+    pub cfg: Arc<Configuration>,
+    /// The target object.
+    pub obj: ObjectId,
+    /// The invoking process.
+    pub me: ProcessId,
+    /// The client operation this call belongs to.
+    pub op: OpId,
+    /// Retry interval for the TREAS `get-data` wait condition.
+    pub retry_interval: Time,
+}
+
+impl DapCtx {
+    /// Creates a context with the default retry interval.
+    pub fn new(cfg: Arc<Configuration>, obj: ObjectId, me: ProcessId, op: OpId) -> Self {
+        DapCtx { cfg, obj, me, op, retry_interval: 200 }
+    }
+}
+
+type DapStep = Step<DapMsg, DapOutput>;
+
+enum Inner {
+    AbdGetTag {
+        replies: Vec<ProcessId>,
+        max: Tag,
+    },
+    AbdGetData {
+        replies: Vec<ProcessId>,
+        best: TagValue,
+    },
+    AbdPut {
+        acks: Vec<ProcessId>,
+    },
+    TreasGetTag {
+        replies: Vec<ProcessId>,
+        max: Tag,
+    },
+    TreasGetData {
+        lists: HashMap<ProcessId, Vec<ListEntry>>,
+        timer_armed: bool,
+        retries: u32,
+    },
+    TreasPut {
+        acks: Vec<ProcessId>,
+    },
+    LdrGetTag {
+        replies: Vec<ProcessId>,
+        max: Tag,
+    },
+    LdrPutData {
+        tag: Tag,
+        acks: Vec<ProcessId>,
+    },
+    LdrPutMeta {
+        acks: Vec<ProcessId>,
+    },
+    LdrReadQuery {
+        replies: Vec<ProcessId>,
+        best: (Tag, Vec<ProcessId>),
+    },
+    LdrReadMeta {
+        best: (Tag, Vec<ProcessId>),
+        acks: Vec<ProcessId>,
+    },
+    LdrReadFetch {
+        tag: Tag,
+    },
+    Done,
+}
+
+/// One in-flight DAP primitive call.
+pub struct DapCall {
+    ctx: DapCtx,
+    rpc: RpcId,
+    inner: Inner,
+    /// Pending `put-data` pair (kept across LDR's two phases).
+    put: Option<TagValue>,
+}
+
+impl DapCall {
+    /// Starts a primitive call. `rpc_counter` is the caller's monotone
+    /// phase-id counter (bumped for every broadcast phase).
+    pub fn start(ctx: DapCtx, action: DapAction, rpc_counter: &mut u64) -> (Self, DapStep) {
+        let mut call = DapCall { ctx, rpc: RpcId(0), inner: Inner::Done, put: None };
+        let step = match (&call.ctx.cfg.dap, action) {
+            (DapKind::Abd, DapAction::GetTag) => {
+                call.inner = Inner::AbdGetTag { replies: Vec::new(), max: TAG0 };
+                call.broadcast_all(DapBody::AbdQueryTag, rpc_counter)
+            }
+            (DapKind::Abd, DapAction::GetData) => {
+                call.inner =
+                    Inner::AbdGetData { replies: Vec::new(), best: TagValue::initial() };
+                call.broadcast_all(DapBody::AbdQuery, rpc_counter)
+            }
+            (DapKind::Abd, DapAction::PutData(tv)) => {
+                call.inner = Inner::AbdPut { acks: Vec::new() };
+                call.broadcast_all(DapBody::AbdWrite(tv.tag, tv.value.clone()), rpc_counter)
+            }
+            (DapKind::Treas { .. }, DapAction::GetTag) => {
+                call.inner = Inner::TreasGetTag { replies: Vec::new(), max: TAG0 };
+                call.broadcast_all(DapBody::TreasQueryTag, rpc_counter)
+            }
+            (DapKind::Treas { .. }, DapAction::GetData) => {
+                call.inner = Inner::TreasGetData {
+                    lists: HashMap::new(),
+                    timer_armed: false,
+                    retries: 0,
+                };
+                call.broadcast_all(DapBody::TreasQueryList, rpc_counter)
+            }
+            (DapKind::Treas { .. }, DapAction::PutData(tv)) => {
+                call.inner = Inner::TreasPut { acks: Vec::new() };
+                call.treas_put_broadcast(tv, rpc_counter)
+            }
+            (DapKind::Ldr { .. }, DapAction::GetTag) => {
+                call.inner = Inner::LdrGetTag { replies: Vec::new(), max: TAG0 };
+                call.broadcast_all(DapBody::LdrQueryTagLoc, rpc_counter)
+            }
+            (DapKind::Ldr { .. }, DapAction::GetData) => {
+                call.inner = Inner::LdrReadQuery {
+                    replies: Vec::new(),
+                    best: (TAG0, Vec::new()),
+                };
+                call.broadcast_all(DapBody::LdrQueryTagLoc, rpc_counter)
+            }
+            (DapKind::Ldr { .. }, DapAction::PutData(tv)) => {
+                call.put = Some(tv.clone());
+                call.inner = Inner::LdrPutData { tag: tv.tag, acks: Vec::new() };
+                call.broadcast_to(
+                    call.ctx.cfg.ldr_replicas().to_vec(),
+                    DapBody::LdrPutData(tv.tag, tv.value),
+                    rpc_counter,
+                )
+            }
+        };
+        (call, step)
+    }
+
+    fn hdr(&self) -> Hdr {
+        Hdr { cfg: self.ctx.cfg.id, obj: self.ctx.obj, rpc: self.rpc, op: self.ctx.op }
+    }
+
+    fn broadcast_all(&mut self, body: DapBody, rpc_counter: &mut u64) -> DapStep {
+        self.broadcast_to(self.ctx.cfg.servers.clone(), body, rpc_counter)
+    }
+
+    fn broadcast_to(
+        &mut self,
+        targets: Vec<ProcessId>,
+        body: DapBody,
+        rpc_counter: &mut u64,
+    ) -> DapStep {
+        *rpc_counter += 1;
+        self.rpc = RpcId(*rpc_counter);
+        let hdr = self.hdr();
+        Step::sends(
+            targets
+                .into_iter()
+                .map(|s| (s, DapMsg::new(hdr, body.clone())))
+                .collect(),
+        )
+    }
+
+    fn treas_put_broadcast(&mut self, tv: TagValue, rpc_counter: &mut u64) -> DapStep {
+        *rpc_counter += 1;
+        self.rpc = RpcId(*rpc_counter);
+        let hdr = self.hdr();
+        let code = build_code(self.ctx.cfg.code_params())
+            .expect("configuration carries valid code parameters");
+        let frags = code.encode(tv.value.as_bytes());
+        Step::sends(
+            self.ctx
+                .cfg
+                .servers
+                .iter()
+                .zip(frags)
+                .map(|(&s, f)| (s, DapMsg::new(hdr, DapBody::TreasWrite(tv.tag, f))))
+                .collect(),
+        )
+    }
+
+    /// The quorum size of the configuration's own quorum system.
+    fn quorum(&self) -> usize {
+        self.ctx.cfg.quorum_size()
+    }
+
+    /// Feeds a reply. Messages from other phases/configs are ignored.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &DapMsg,
+        rpc_counter: &mut u64,
+    ) -> DapStep {
+        if msg.hdr.rpc != self.rpc
+            || msg.hdr.cfg != self.ctx.cfg.id
+            || msg.hdr.obj != self.ctx.obj
+        {
+            return Step::idle();
+        }
+        let quorum = self.quorum();
+        match (&mut self.inner, &msg.body) {
+            (Inner::AbdGetTag { replies, max }, DapBody::AbdTag(t)) => {
+                if !replies.contains(&from) {
+                    replies.push(from);
+                    *max = (*max).max(*t);
+                }
+                if replies.len() >= quorum {
+                    let out = *max;
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::Tag(out))
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::AbdGetData { replies, best }, DapBody::AbdTagValue(t, v)) => {
+                if !replies.contains(&from) {
+                    replies.push(from);
+                    if *t > best.tag {
+                        *best = TagValue::new(*t, v.clone());
+                    }
+                }
+                if replies.len() >= quorum {
+                    let out = best.clone();
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::TagValue(out))
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::AbdPut { acks }, DapBody::AbdAck) => {
+                if collect_ack(acks, from, quorum) {
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::Ack)
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::TreasGetTag { replies, max }, DapBody::TreasTag(t)) => {
+                if !replies.contains(&from) {
+                    replies.push(from);
+                    *max = (*max).max(*t);
+                }
+                if replies.len() >= quorum {
+                    let out = *max;
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::Tag(out))
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::TreasPut { acks }, DapBody::TreasAck) => {
+                if collect_ack(acks, from, quorum) {
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::Ack)
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::TreasGetData { lists, timer_armed, .. }, DapBody::TreasList(l)) => {
+                lists.insert(from, l.clone());
+                if lists.len() < quorum {
+                    return Step::idle();
+                }
+                let k = self.ctx.cfg.code_params().k;
+                match treas_evaluate(lists, k, &self.ctx.cfg) {
+                    Some(tv) => {
+                        self.inner = Inner::Done;
+                        Step::done(DapOutput::TagValue(tv))
+                    }
+                    None => {
+                        // Not yet decodable: keep waiting for stragglers
+                        // and arm one retry timer.
+                        if !*timer_armed {
+                            *timer_armed = true;
+                            Step::idle().with_timer(self.ctx.retry_interval)
+                        } else {
+                            Step::idle()
+                        }
+                    }
+                }
+            }
+            (Inner::LdrGetTag { replies, max }, DapBody::LdrTagLoc(t, _)) => {
+                if !replies.contains(&from) {
+                    replies.push(from);
+                    *max = (*max).max(*t);
+                }
+                if replies.len() >= quorum {
+                    let out = *max;
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::Tag(out))
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::LdrPutData { tag, acks }, DapBody::LdrPutDataAck(t)) if t == tag => {
+                let DapKind::Ldr { f } = self.ctx.cfg.dap else { unreachable!() };
+                if !acks.contains(&from) {
+                    acks.push(from);
+                }
+                if acks.len() > f {
+                    // Phase 2: PUT-METADATA(τ, U) to all directories.
+                    let tag = *tag;
+                    let locs = acks.clone();
+                    self.inner = Inner::LdrPutMeta { acks: Vec::new() };
+                    self.broadcast_to(
+                        self.ctx.cfg.ldr_directories().to_vec(),
+                        DapBody::LdrPutMeta(tag, locs),
+                        rpc_counter,
+                    )
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::LdrPutMeta { acks }, DapBody::LdrPutMetaAck) => {
+                if collect_ack(acks, from, quorum) {
+                    self.inner = Inner::Done;
+                    Step::done(DapOutput::Ack)
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::LdrReadQuery { replies, best }, DapBody::LdrTagLoc(t, locs)) => {
+                if !replies.contains(&from) {
+                    replies.push(from);
+                    if *t > best.0 {
+                        *best = (*t, locs.clone());
+                    }
+                }
+                if replies.len() >= quorum {
+                    // Phase 2: propagate the chosen metadata.
+                    let best = best.clone();
+                    self.inner = Inner::LdrReadMeta { best: best.clone(), acks: Vec::new() };
+                    self.broadcast_to(
+                        self.ctx.cfg.ldr_directories().to_vec(),
+                        DapBody::LdrPutMeta(best.0, best.1),
+                        rpc_counter,
+                    )
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::LdrReadMeta { best, acks }, DapBody::LdrPutMetaAck) => {
+                if !acks.contains(&from) {
+                    acks.push(from);
+                }
+                if acks.len() >= quorum {
+                    let (tag, locs) = best.clone();
+                    if tag == TAG0 {
+                        // Nothing written yet: the initial pair.
+                        self.inner = Inner::Done;
+                        return Step::done(DapOutput::TagValue(TagValue::initial()));
+                    }
+                    let DapKind::Ldr { f } = self.ctx.cfg.dap else { unreachable!() };
+                    let targets: Vec<ProcessId> = locs.into_iter().take(f + 1).collect();
+                    self.inner = Inner::LdrReadFetch { tag };
+                    self.broadcast_to(targets, DapBody::LdrGetData(tag), rpc_counter)
+                } else {
+                    Step::idle()
+                }
+            }
+            (Inner::LdrReadFetch { tag }, DapBody::LdrData(t, v)) if t == tag => {
+                let out = TagValue::new(*t, v.clone());
+                self.inner = Inner::Done;
+                Step::done(DapOutput::TagValue(out))
+            }
+            _ => Step::idle(),
+        }
+    }
+
+    /// Handles the retry timer (TREAS `get-data` only): re-broadcasts the
+    /// `QUERY-LIST` with a fresh phase id.
+    pub fn on_timer(&mut self, rpc_counter: &mut u64) -> DapStep {
+        if let Inner::TreasGetData { retries, .. } = &mut self.inner {
+            let r = *retries + 1;
+            self.inner =
+                Inner::TreasGetData { lists: HashMap::new(), timer_armed: false, retries: r };
+            self.broadcast_all(DapBody::TreasQueryList, rpc_counter)
+        } else {
+            Step::idle()
+        }
+    }
+
+    /// Number of TREAS `get-data` retry rounds performed.
+    pub fn retries(&self) -> u32 {
+        match &self.inner {
+            Inner::TreasGetData { retries, .. } => *retries,
+            _ => 0,
+        }
+    }
+}
+
+fn collect_ack(acks: &mut Vec<ProcessId>, from: ProcessId, quorum: usize) -> bool {
+    if !acks.contains(&from) {
+        acks.push(from);
+    }
+    acks.len() >= quorum
+}
+
+/// Evaluates the TREAS read condition (Alg. 2 lines 11-17) over the lists
+/// received so far. Returns the decoded pair when
+/// `t^*_max = t^{dec}_max` and the value decodes; `None` otherwise.
+fn treas_evaluate(
+    lists: &HashMap<ProcessId, Vec<ListEntry>>,
+    k: usize,
+    cfg: &Configuration,
+) -> Option<TagValue> {
+    // Count, per tag: in how many lists it appears at all, and in how many
+    // it appears with a coded element.
+    let mut seen: HashMap<Tag, (usize, usize)> = HashMap::new();
+    for list in lists.values() {
+        for e in list {
+            let c = seen.entry(e.tag).or_insert((0, 0));
+            c.0 += 1;
+            if e.frag.is_some() {
+                c.1 += 1;
+            }
+        }
+    }
+    let t_star_max = seen.iter().filter(|(_, c)| c.0 >= k).map(|(t, _)| *t).max()?;
+    let t_dec_max = seen.iter().filter(|(_, c)| c.1 >= k).map(|(t, _)| *t).max()?;
+    if t_star_max != t_dec_max {
+        return None;
+    }
+    if t_dec_max == TAG0 {
+        return Some(TagValue::initial());
+    }
+    // Collect distinct-index fragments for the chosen tag and decode.
+    let mut frags: Vec<Fragment> = Vec::new();
+    for list in lists.values() {
+        for e in list {
+            if e.tag == t_dec_max {
+                if let Some(f) = &e.frag {
+                    if !frags.iter().any(|g| g.index == f.index) {
+                        frags.push(f.clone());
+                    }
+                }
+            }
+        }
+    }
+    let code = build_code(cfg.code_params()).expect("valid code params");
+    match code.decode(&frags) {
+        Ok(bytes) => Some(TagValue::new(t_dec_max, Value::new(bytes))),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DapServer;
+    use ares_types::{ConfigId, ConfigRegistry};
+
+    fn registry() -> Arc<ConfigRegistry> {
+        ConfigRegistry::from_configs([
+            Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect()),
+            Configuration::treas(ConfigId(1), (1..=5).map(ProcessId).collect(), 3, 2),
+            Configuration::ldr(ConfigId(2), (1..=5).map(ProcessId).collect(), 1),
+        ])
+    }
+
+    fn op() -> OpId {
+        OpId { client: ProcessId(9), seq: 0 }
+    }
+
+    /// Synchronously runs a DAP call against in-memory servers.
+    fn run_call(
+        servers: &mut HashMap<ProcessId, DapServer>,
+        cfg: Arc<Configuration>,
+        action: DapAction,
+        rpc: &mut u64,
+    ) -> DapOutput {
+        let ctx = DapCtx::new(cfg, ObjectId(0), ProcessId(9), op());
+        let (mut call, step) = DapCall::start(ctx, action, rpc);
+        let mut inbox = step.sends;
+        for _ in 0..64 {
+            let mut next = Vec::new();
+            for (to, m) in inbox.drain(..) {
+                let srv = servers.get_mut(&to).expect("server exists");
+                for (_back, reply) in srv.handle(ProcessId(9), m) {
+                    let s = call.on_message(to, &reply, rpc);
+                    if let Some(out) = s.output {
+                        return out;
+                    }
+                    next.extend(s.sends);
+                }
+            }
+            assert!(!next.is_empty(), "call stalled");
+            inbox = next;
+        }
+        panic!("no completion in 64 rounds");
+    }
+
+    fn make_servers(reg: &Arc<ConfigRegistry>, n: u32) -> HashMap<ProcessId, DapServer> {
+        (1..=n)
+            .map(|i| (ProcessId(i), DapServer::new(ProcessId(i), reg.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn abd_write_then_read_roundtrip() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(0)).clone();
+        let mut servers = make_servers(&reg, 5);
+        let mut rpc = 0;
+        let t = Tag::new(1, ProcessId(9));
+        let v = Value::new(vec![1, 2, 3]);
+        let out = run_call(
+            &mut servers,
+            cfg.clone(),
+            DapAction::PutData(TagValue::new(t, v.clone())),
+            &mut rpc,
+        );
+        assert_eq!(out, DapOutput::Ack);
+        let out = run_call(&mut servers, cfg.clone(), DapAction::GetData, &mut rpc);
+        assert_eq!(out, DapOutput::TagValue(TagValue::new(t, v)));
+        let out = run_call(&mut servers, cfg, DapAction::GetTag, &mut rpc);
+        assert_eq!(out, DapOutput::Tag(t));
+    }
+
+    #[test]
+    fn treas_write_then_read_roundtrip() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(1)).clone();
+        let mut servers = make_servers(&reg, 5);
+        let mut rpc = 0;
+        let t = Tag::new(1, ProcessId(9));
+        let v = Value::filler(64, 7);
+        let out = run_call(
+            &mut servers,
+            cfg.clone(),
+            DapAction::PutData(TagValue::new(t, v.clone())),
+            &mut rpc,
+        );
+        assert_eq!(out, DapOutput::Ack);
+        // At least a quorum of servers processed the write (the driver
+        // returns as soon as ⌈(n+k)/2⌉ = 4 acks arrive).
+        let holders = servers
+            .values()
+            .filter_map(|s| s.treas_state_ref(ConfigId(1), ObjectId(0)))
+            .filter(|st| st.max_tag() == t)
+            .count();
+        assert!(holders >= 4, "quorum of servers stored the write, got {holders}");
+        let out = run_call(&mut servers, cfg.clone(), DapAction::GetData, &mut rpc);
+        assert_eq!(out, DapOutput::TagValue(TagValue::new(t, v)));
+        let out = run_call(&mut servers, cfg, DapAction::GetTag, &mut rpc);
+        assert_eq!(out, DapOutput::Tag(t));
+    }
+
+    #[test]
+    fn treas_read_of_initial_state_returns_t0_v0() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(1)).clone();
+        let mut servers = make_servers(&reg, 5);
+        let mut rpc = 0;
+        let out = run_call(&mut servers, cfg, DapAction::GetData, &mut rpc);
+        assert_eq!(out, DapOutput::TagValue(TagValue::initial()));
+    }
+
+    #[test]
+    fn ldr_write_then_read_roundtrip() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(2)).clone();
+        let mut servers = make_servers(&reg, 5);
+        let mut rpc = 0;
+        let t = Tag::new(4, ProcessId(9));
+        let v = Value::new(vec![7; 10]);
+        let out = run_call(
+            &mut servers,
+            cfg.clone(),
+            DapAction::PutData(TagValue::new(t, v.clone())),
+            &mut rpc,
+        );
+        assert_eq!(out, DapOutput::Ack);
+        let out = run_call(&mut servers, cfg.clone(), DapAction::GetData, &mut rpc);
+        assert_eq!(out, DapOutput::TagValue(TagValue::new(t, v)));
+        let out = run_call(&mut servers, cfg, DapAction::GetTag, &mut rpc);
+        assert_eq!(out, DapOutput::Tag(t));
+    }
+
+    #[test]
+    fn ldr_read_of_initial_state() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(2)).clone();
+        let mut servers = make_servers(&reg, 5);
+        let mut rpc = 0;
+        let out = run_call(&mut servers, cfg, DapAction::GetData, &mut rpc);
+        assert_eq!(out, DapOutput::TagValue(TagValue::initial()));
+    }
+
+    #[test]
+    fn stale_replies_are_ignored() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(0)).clone();
+        let ctx = DapCtx::new(cfg, ObjectId(0), ProcessId(9), op());
+        let mut rpc = 0;
+        let (mut call, _step) = DapCall::start(ctx, DapAction::GetTag, &mut rpc);
+        // Reply with a wrong rpc id.
+        let bad = DapMsg::new(
+            Hdr { cfg: ConfigId(0), obj: ObjectId(0), rpc: RpcId(999), op: op() },
+            DapBody::AbdTag(Tag::new(9, ProcessId(1))),
+        );
+        assert!(call.on_message(ProcessId(1), &bad, &mut rpc).is_idle());
+        // Reply from the wrong config.
+        let bad = DapMsg::new(
+            Hdr { cfg: ConfigId(1), obj: ObjectId(0), rpc: RpcId(1), op: op() },
+            DapBody::AbdTag(Tag::new(9, ProcessId(1))),
+        );
+        assert!(call.on_message(ProcessId(1), &bad, &mut rpc).is_idle());
+    }
+
+    #[test]
+    fn duplicate_replies_do_not_count_twice() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(0)).clone(); // quorum = 2 of 3
+        let ctx = DapCtx::new(cfg, ObjectId(0), ProcessId(9), op());
+        let mut rpc = 0;
+        let (mut call, step) = DapCall::start(ctx, DapAction::GetTag, &mut rpc);
+        let rpc_id = step.sends[0].1.hdr.rpc;
+        let mk = |z| {
+            DapMsg::new(
+                Hdr { cfg: ConfigId(0), obj: ObjectId(0), rpc: rpc_id, op: op() },
+                DapBody::AbdTag(Tag::new(z, ProcessId(1))),
+            )
+        };
+        assert!(call.on_message(ProcessId(1), &mk(1), &mut rpc).output.is_none());
+        // duplicate from the same server
+        assert!(call.on_message(ProcessId(1), &mk(1), &mut rpc).output.is_none());
+        // second distinct server completes the quorum
+        let out = call.on_message(ProcessId(2), &mk(5), &mut rpc).output.unwrap();
+        assert_eq!(out, DapOutput::Tag(Tag::new(5, ProcessId(1))));
+    }
+
+    #[test]
+    fn treas_get_data_waits_when_latest_tag_not_decodable() {
+        // 5 servers, k=3. Simulate a partial write: only 2 servers hold
+        // tag t1's fragments, but all 5 know the tag (e.g. via lists).
+        let reg = registry();
+        let cfg = reg.get(ConfigId(1)).clone();
+        let t1 = Tag::new(1, ProcessId(8));
+        let code = build_code(cfg.code_params()).unwrap();
+        let frags = code.encode(Value::filler(30, 1).as_bytes());
+
+        let mut lists: HashMap<ProcessId, Vec<ListEntry>> = HashMap::new();
+        for i in 1..=5u32 {
+            let mut l = vec![ListEntry {
+                tag: TAG0,
+                frag: Some(Fragment { index: 0, value_len: 0, data: bytes::Bytes::new() }),
+            }];
+            // every server knows the tag; only servers 1,2 kept elements
+            l.push(ListEntry {
+                tag: t1,
+                frag: if i <= 2 { Some(frags[(i - 1) as usize].clone()) } else { None },
+            });
+            lists.insert(ProcessId(i), l);
+        }
+        // t*_max = t1 (5 lists) but t_dec_max = t0: condition fails.
+        assert!(treas_evaluate(&lists, 3, &cfg).is_none());
+
+        // Give a third server its element: now decodable.
+        lists.get_mut(&ProcessId(3)).unwrap()[1].frag = Some(frags[2].clone());
+        let tv = treas_evaluate(&lists, 3, &cfg).expect("now decodable");
+        assert_eq!(tv.tag, t1);
+        assert_eq!(tv.value, Value::filler(30, 1));
+    }
+
+    #[test]
+    fn treas_timer_rebroadcasts_with_fresh_rpc() {
+        let reg = registry();
+        let cfg = reg.get(ConfigId(1)).clone();
+        let ctx = DapCtx::new(cfg, ObjectId(0), ProcessId(9), op());
+        let mut rpc = 0;
+        let (mut call, step) = DapCall::start(ctx, DapAction::GetData, &mut rpc);
+        let first_rpc = step.sends[0].1.hdr.rpc;
+        let s = call.on_timer(&mut rpc);
+        assert_eq!(s.sends.len(), 5);
+        assert_ne!(s.sends[0].1.hdr.rpc, first_rpc);
+        assert_eq!(call.retries(), 1);
+    }
+}

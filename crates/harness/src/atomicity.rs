@@ -1,0 +1,368 @@
+//! Atomicity checking of execution histories.
+//!
+//! The paper's safety property (Section 2) is atomicity/linearizability
+//! for a read/write register: there is a partial order `≺` on complete
+//! operations with (A1) real-time respect, (A2) writes totally ordered
+//! against everything, (A3) reads return the latest preceding write.
+//!
+//! For *tag-based* registers where every write carries a unique totally
+//! ordered tag and every read reports the tag it returned, atomicity of
+//! a history is equivalent to the following checkable conditions (this is
+//! exactly the structure of the paper's own proof of Theorem 32):
+//!
+//! 1. **Unique write tags** — no two writes share a tag (the tag order
+//!    is the witness total order of A2).
+//! 2. **Read integrity** — every read's `(tag, digest)` matches a write
+//!    with the same `(tag, digest)`, or is the initial `(t_0, v_0)`.
+//! 3. **Real-time monotonicity** — if `π₁` completes before `π₂` is
+//!    invoked, then `tag(π₂) ≥ tag(π₁)`, strictly when `π₂` is a write.
+//!
+//! Checking (3) against every predecessor is equivalent to checking
+//! against the *maximum* tag among completed predecessors, so the whole
+//! check runs in `O(n log n)`.
+
+use ares_types::{ObjectId, OpCompletion, OpId, OpKind, Tag, Value, TAG0};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violation of atomicity found in a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two writes produced the same tag.
+    DuplicateWriteTag {
+        /// First write.
+        a: OpId,
+        /// Second write.
+        b: OpId,
+        /// The shared tag.
+        tag: Tag,
+    },
+    /// A read returned a `(tag, value)` no write produced.
+    PhantomRead {
+        /// The offending read.
+        read: OpId,
+        /// The tag it reported.
+        tag: Tag,
+    },
+    /// A read returned the right tag but the wrong value bytes.
+    ValueMismatch {
+        /// The offending read.
+        read: OpId,
+        /// The write whose tag it returned.
+        write: OpId,
+        /// The shared tag.
+        tag: Tag,
+    },
+    /// An operation returned a tag older than one that completed before
+    /// it was invoked (new-old inversion).
+    StaleTag {
+        /// The later operation.
+        op: OpId,
+        /// Its tag.
+        tag: Tag,
+        /// The earlier operation it contradicts.
+        earlier: OpId,
+        /// The earlier tag.
+        earlier_tag: Tag,
+    },
+    /// A write failed to dominate an operation that preceded it.
+    NonMonotonicWrite {
+        /// The offending write.
+        op: OpId,
+        /// Its tag.
+        tag: Tag,
+        /// The preceding operation.
+        earlier: OpId,
+        /// The preceding tag it failed to exceed.
+        earlier_tag: Tag,
+    },
+    /// A completion record is malformed (e.g. a read without a tag).
+    Malformed {
+        /// The offending operation.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateWriteTag { a, b, tag } => {
+                write!(f, "writes {a} and {b} share tag {tag}")
+            }
+            Violation::PhantomRead { read, tag } => {
+                write!(f, "read {read} returned tag {tag} that no write produced")
+            }
+            Violation::ValueMismatch { read, write, tag } => {
+                write!(f, "read {read} returned tag {tag} of write {write} with wrong bytes")
+            }
+            Violation::StaleTag { op, tag, earlier, earlier_tag } => write!(
+                f,
+                "{op} returned {tag} although {earlier} (tag {earlier_tag}) completed first"
+            ),
+            Violation::NonMonotonicWrite { op, tag, earlier, earlier_tag } => write!(
+                f,
+                "write {op} got {tag}, not above {earlier_tag} of preceding {earlier}"
+            ),
+            Violation::Malformed { op } => write!(f, "malformed completion for {op}"),
+        }
+    }
+}
+
+/// Report of an atomicity check.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicityReport {
+    /// All violations found (empty = history is atomic).
+    pub violations: Vec<Violation>,
+    /// Reads/writes checked.
+    pub ops_checked: usize,
+}
+
+impl AtomicityReport {
+    /// True when no violation was found.
+    pub fn is_atomic(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with a readable message on the first violation (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is not atomic.
+    pub fn assert_atomic(&self) {
+        if let Some(v) = self.violations.first() {
+            panic!(
+                "history is NOT atomic ({} violations); first: {v}",
+                self.violations.len()
+            );
+        }
+    }
+}
+
+/// Checks a history (set of completions) for atomicity, per object.
+/// Reconfig completions are ignored (they carry no tag).
+pub fn check_atomicity(history: &[OpCompletion]) -> AtomicityReport {
+    let mut by_obj: HashMap<ObjectId, Vec<&OpCompletion>> = HashMap::new();
+    for c in history {
+        if matches!(c.kind, OpKind::Write | OpKind::Read) {
+            by_obj.entry(c.obj).or_default().push(c);
+        }
+    }
+    let mut report = AtomicityReport::default();
+    for ops in by_obj.values() {
+        check_object(ops, &mut report);
+    }
+    report
+}
+
+fn check_object(ops: &[&OpCompletion], report: &mut AtomicityReport) {
+    report.ops_checked += ops.len();
+
+    // 1. unique write tags + write table for read integrity
+    let mut writes: HashMap<Tag, &OpCompletion> = HashMap::new();
+    for c in ops.iter().filter(|c| c.kind == OpKind::Write) {
+        let Some(tag) = c.tag else {
+            report.violations.push(Violation::Malformed { op: c.op });
+            continue;
+        };
+        if let Some(prev) = writes.insert(tag, c) {
+            report.violations.push(Violation::DuplicateWriteTag {
+                a: prev.op,
+                b: c.op,
+                tag,
+            });
+        }
+    }
+
+    // 2. read integrity
+    let initial_digest = Value::initial().digest();
+    for c in ops.iter().filter(|c| c.kind == OpKind::Read) {
+        let Some(tag) = c.tag else {
+            report.violations.push(Violation::Malformed { op: c.op });
+            continue;
+        };
+        if tag == TAG0 {
+            if c.value_digest.is_some_and(|d| d != initial_digest) {
+                report.violations.push(Violation::PhantomRead { read: c.op, tag });
+            }
+            continue;
+        }
+        match writes.get(&tag) {
+            None => report.violations.push(Violation::PhantomRead { read: c.op, tag }),
+            Some(w) => {
+                if w.value_digest.is_some()
+                    && c.value_digest.is_some()
+                    && w.value_digest != c.value_digest
+                {
+                    report.violations.push(Violation::ValueMismatch {
+                        read: c.op,
+                        write: w.op,
+                        tag,
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Real-time monotonicity via a sweep: walk invocations in time
+    // order, folding in completions that happened strictly earlier
+    // (`π₁ → π₂` means `completed(π₁) < invoked(π₂)`), and compare each
+    // operation's tag against the max completed tag so far.
+    let mut by_invocation: Vec<&&OpCompletion> = ops.iter().collect();
+    by_invocation.sort_by_key(|c| (c.invoked_at, c.op));
+    let mut by_completion: Vec<&&OpCompletion> = ops.iter().collect();
+    by_completion.sort_by_key(|c| (c.completed_at, c.op));
+
+    let mut ci = 0;
+    // Highest tag among operations completed so far, with a witness.
+    let mut max_done: Option<(Tag, OpId)> = None;
+    for c in by_invocation {
+        while ci < by_completion.len() && by_completion[ci].completed_at < c.invoked_at {
+            let done = by_completion[ci];
+            if let Some(t) = done.tag {
+                if max_done.is_none_or(|(mt, _)| t > mt) {
+                    max_done = Some((t, done.op));
+                }
+            }
+            ci += 1;
+        }
+        let (Some(tag), Some((mt, earlier))) = (c.tag, max_done) else {
+            continue;
+        };
+        match c.kind {
+            OpKind::Read => {
+                if tag < mt {
+                    report.violations.push(Violation::StaleTag {
+                        op: c.op,
+                        tag,
+                        earlier,
+                        earlier_tag: mt,
+                    });
+                }
+            }
+            OpKind::Write => {
+                if tag <= mt {
+                    report.violations.push(Violation::NonMonotonicWrite {
+                        op: c.op,
+                        tag,
+                        earlier,
+                        earlier_tag: mt,
+                    });
+                }
+            }
+            OpKind::Recon => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_types::ProcessId;
+
+    fn w(seq: u64, t: (u64, u32), iv: u64, cp: u64, digest: u64) -> OpCompletion {
+        let mut c = OpCompletion::new(
+            OpId { client: ProcessId(1), seq },
+            OpKind::Write,
+            iv,
+            cp,
+        );
+        c.tag = Some(Tag::new(t.0, ProcessId(t.1)));
+        c.value_digest = Some(digest);
+        c
+    }
+
+    fn r(seq: u64, t: (u64, u32), iv: u64, cp: u64, digest: u64) -> OpCompletion {
+        let mut c = OpCompletion::new(
+            OpId { client: ProcessId(2), seq },
+            OpKind::Read,
+            iv,
+            cp,
+        );
+        c.tag = Some(Tag::new(t.0, ProcessId(t.1)));
+        c.value_digest = Some(digest);
+        c
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = vec![
+            w(0, (1, 1), 0, 10, 111),
+            r(0, (1, 1), 20, 30, 111),
+            w(1, (2, 1), 40, 50, 222),
+            r(1, (2, 1), 60, 70, 222),
+        ];
+        let rep = check_atomicity(&h);
+        assert!(rep.is_atomic(), "{:?}", rep.violations);
+        assert_eq!(rep.ops_checked, 4);
+    }
+
+    #[test]
+    fn concurrent_ops_unconstrained() {
+        // Overlapping read may return old or new value.
+        let h = vec![w(0, (1, 1), 0, 100, 1), r(0, (0, 0), 50, 60, Value::initial().digest())];
+        assert!(check_atomicity(&h).is_atomic());
+    }
+
+    #[test]
+    fn detects_duplicate_write_tags() {
+        let h = vec![w(0, (1, 1), 0, 10, 1), w(1, (1, 1), 20, 30, 2)];
+        let rep = check_atomicity(&h);
+        assert!(matches!(rep.violations[0], Violation::DuplicateWriteTag { .. }));
+    }
+
+    #[test]
+    fn detects_phantom_read() {
+        let h = vec![r(0, (5, 5), 0, 10, 9)];
+        let rep = check_atomicity(&h);
+        assert!(matches!(rep.violations[0], Violation::PhantomRead { .. }));
+    }
+
+    #[test]
+    fn detects_value_mismatch() {
+        let h = vec![w(0, (1, 1), 0, 10, 111), r(0, (1, 1), 20, 30, 999)];
+        let rep = check_atomicity(&h);
+        assert!(matches!(rep.violations[0], Violation::ValueMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_new_old_inversion() {
+        let h = vec![
+            w(0, (1, 1), 0, 10, 1),
+            w(1, (2, 1), 11, 20, 2),
+            r(0, (2, 1), 30, 40, 2),
+            r(1, (1, 1), 45, 55, 1), // reads older tag after newer was read
+        ];
+        let rep = check_atomicity(&h);
+        assert!(matches!(rep.violations[0], Violation::StaleTag { .. }));
+    }
+
+    #[test]
+    fn detects_non_monotonic_write() {
+        let h = vec![
+            w(0, (5, 1), 0, 10, 1),
+            w(1, (5, 1), 20, 30, 2), // same tag: dup + non-monotonic
+        ];
+        let rep = check_atomicity(&h);
+        assert!(!rep.is_atomic());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NonMonotonicWrite { .. })));
+    }
+
+    #[test]
+    fn initial_read_is_fine() {
+        let h = vec![r(0, (0, 0), 0, 10, Value::initial().digest())];
+        assert!(check_atomicity(&h).is_atomic());
+    }
+
+    #[test]
+    fn per_object_isolation() {
+        // Same tags on different objects do not clash.
+        let mut a = w(0, (1, 1), 0, 10, 1);
+        a.obj = ObjectId(1);
+        let mut b = w(1, (1, 1), 20, 30, 2);
+        b.obj = ObjectId(2);
+        assert!(check_atomicity(&[a, b]).is_atomic());
+    }
+}

@@ -1,0 +1,234 @@
+//! Exhaustive linearizability checking for read/write registers
+//! (Wing & Gong style search with memoization), used as a *second,
+//! tag-blind oracle* next to the tag-based checker of
+//! [`crate::atomicity`].
+//!
+//! The tag-based checker is fast and complete for tag-based algorithms,
+//! but it trusts the tags the implementation reports. This checker
+//! ignores tags entirely: it searches for a legal sequential ordering of
+//! the operations (writes and reads over value digests) that respects
+//! real-time precedence and register semantics. It is exponential in the
+//! worst case, so tests use it on small windows (≤ ~14 operations),
+//! which is exactly where subtle orderings live.
+
+use ares_types::{ObjectId, OpCompletion, OpKind, Value};
+use std::collections::{HashMap, HashSet};
+
+/// One operation of the search-friendly history form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SOp {
+    invoked: u64,
+    completed: u64,
+    is_write: bool,
+    /// Digest written (write) or returned (read).
+    digest: u64,
+}
+
+/// Result of an exhaustive linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinResult {
+    /// A legal sequential witness exists.
+    Linearizable,
+    /// No witness exists — the history is provably not linearizable.
+    NotLinearizable,
+    /// The history was too large for exhaustive search.
+    TooLarge {
+        /// Operations in the offending per-object history.
+        ops: usize,
+    },
+}
+
+/// Maximum per-object history size for exhaustive search.
+pub const MAX_EXHAUSTIVE: usize = 16;
+
+/// Exhaustively checks a history (per object) for linearizability,
+/// ignoring implementation tags.
+///
+/// Reconfigurations and malformed completions (no digest) are skipped —
+/// they carry no register semantics.
+pub fn check_linearizable(history: &[OpCompletion]) -> LinResult {
+    let mut by_obj: HashMap<ObjectId, Vec<SOp>> = HashMap::new();
+    for c in history {
+        let (is_write, digest) = match (c.kind, c.value_digest) {
+            (OpKind::Write, Some(d)) => (true, d),
+            (OpKind::Read, Some(d)) => (false, d),
+            _ => continue,
+        };
+        by_obj.entry(c.obj).or_default().push(SOp {
+            invoked: c.invoked_at,
+            completed: c.completed_at,
+            is_write,
+            digest,
+        });
+    }
+    for ops in by_obj.values() {
+        if ops.len() > MAX_EXHAUSTIVE {
+            return LinResult::TooLarge { ops: ops.len() };
+        }
+        if !object_linearizable(ops) {
+            return LinResult::NotLinearizable;
+        }
+    }
+    LinResult::Linearizable
+}
+
+/// DFS over subsets: a subset `S` of operations is *reachable* if some
+/// legal linearization of exactly `S` exists; its register state is the
+/// digest of the last linearized write. Because different orders of the
+/// same subset that end in the same state are interchangeable, memoizing
+/// `(subset, last-write)` keeps the search tractable.
+fn object_linearizable(ops: &[SOp]) -> bool {
+    let n = ops.len();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let initial = Value::initial().digest();
+    let mut seen: HashSet<(u32, u64)> = HashSet::new();
+    let mut stack: Vec<(u32, u64)> = vec![(0, initial)];
+
+    while let Some((done, state)) = stack.pop() {
+        if done == full {
+            return true;
+        }
+        for i in 0..n {
+            let bit = 1u32 << i;
+            if done & bit != 0 {
+                continue;
+            }
+            let op = &ops[i];
+            // Minimality: `op` may be linearized next only if no *other*
+            // pending operation completed before `op` was invoked.
+            let blocked = (0..n).any(|j| {
+                j != i && done & (1 << j) == 0 && ops[j].completed < op.invoked
+            });
+            if blocked {
+                continue;
+            }
+            let next_state = if op.is_write {
+                op.digest
+            } else {
+                if op.digest != state {
+                    continue; // read must return the current value
+                }
+                state
+            };
+            let key = (done | bit, next_state);
+            if seen.insert(key) {
+                stack.push(key);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_types::{OpId, ProcessId, Tag};
+
+    fn op(seq: u64, kind: OpKind, iv: u64, cp: u64, digest: u64) -> OpCompletion {
+        let mut c =
+            OpCompletion::new(OpId { client: ProcessId(1), seq }, kind, iv, cp);
+        c.value_digest = Some(digest);
+        c.tag = Some(Tag::new(seq + 1, ProcessId(1))); // tags ignored here
+        c
+    }
+
+    #[test]
+    fn sequential_history_linearizable() {
+        let h = vec![
+            op(0, OpKind::Write, 0, 10, 111),
+            op(1, OpKind::Read, 20, 30, 111),
+        ];
+        assert_eq!(check_linearizable(&h), LinResult::Linearizable);
+    }
+
+    #[test]
+    fn read_of_initial_value_ok() {
+        let h = vec![op(0, OpKind::Read, 0, 10, Value::initial().digest())];
+        assert_eq!(check_linearizable(&h), LinResult::Linearizable);
+    }
+
+    #[test]
+    fn concurrent_read_may_return_either_value() {
+        let init = Value::initial().digest();
+        // Write [0, 100]; read [50, 60] overlapping it.
+        for returned in [111u64, init] {
+            let h = vec![
+                op(0, OpKind::Write, 0, 100, 111),
+                op(1, OpKind::Read, 50, 60, returned),
+            ];
+            assert_eq!(check_linearizable(&h), LinResult::Linearizable, "{returned}");
+        }
+    }
+
+    #[test]
+    fn stale_read_rejected() {
+        // Two sequential writes; a later read returns the first value.
+        let h = vec![
+            op(0, OpKind::Write, 0, 10, 111),
+            op(1, OpKind::Write, 20, 30, 222),
+            op(2, OpKind::Read, 40, 50, 111),
+        ];
+        assert_eq!(check_linearizable(&h), LinResult::NotLinearizable);
+    }
+
+    #[test]
+    fn new_old_inversion_rejected() {
+        let h = vec![
+            op(0, OpKind::Write, 0, 10, 111),
+            op(1, OpKind::Write, 15, 25, 222),
+            op(2, OpKind::Read, 30, 40, 222),
+            op(3, OpKind::Read, 45, 55, 111),
+        ];
+        assert_eq!(check_linearizable(&h), LinResult::NotLinearizable);
+    }
+
+    #[test]
+    fn phantom_read_rejected() {
+        let h = vec![
+            op(0, OpKind::Write, 0, 10, 111),
+            op(1, OpKind::Read, 20, 30, 999),
+        ];
+        assert_eq!(check_linearizable(&h), LinResult::NotLinearizable);
+    }
+
+    #[test]
+    fn interleaved_concurrent_writes_with_reads() {
+        // w1 [0,100]=A, w2 [10,90]=B concurrent; r1 [110,120]=A and
+        // r2 [130,140]=A: legal iff B ≺ A, which real-time allows.
+        let h = vec![
+            op(0, OpKind::Write, 0, 100, 0xA),
+            op(1, OpKind::Write, 10, 90, 0xB),
+            op(2, OpKind::Read, 110, 120, 0xA),
+            op(3, OpKind::Read, 130, 140, 0xA),
+        ];
+        assert_eq!(check_linearizable(&h), LinResult::Linearizable);
+        // ...but reading A then B then A again is not.
+        let h2 = vec![
+            op(0, OpKind::Write, 0, 100, 0xA),
+            op(1, OpKind::Write, 10, 90, 0xB),
+            op(2, OpKind::Read, 110, 120, 0xA),
+            op(3, OpKind::Read, 130, 140, 0xB),
+        ];
+        assert_eq!(check_linearizable(&h2), LinResult::NotLinearizable);
+    }
+
+    #[test]
+    fn too_large_reported() {
+        let h: Vec<OpCompletion> = (0..MAX_EXHAUSTIVE as u64 + 1)
+            .map(|i| op(i, OpKind::Write, i * 10, i * 10 + 5, i))
+            .collect();
+        assert_eq!(
+            check_linearizable(&h),
+            LinResult::TooLarge { ops: MAX_EXHAUSTIVE + 1 }
+        );
+    }
+
+    #[test]
+    fn objects_checked_independently() {
+        let mut a = op(0, OpKind::Write, 0, 10, 1);
+        a.obj = ObjectId(1);
+        let mut b = op(1, OpKind::Read, 20, 30, Value::initial().digest());
+        b.obj = ObjectId(2); // reads x2's initial value: fine
+        assert_eq!(check_linearizable(&[a, b]), LinResult::Linearizable);
+    }
+}

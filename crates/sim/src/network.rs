@@ -1,0 +1,125 @@
+//! Network delay model: asynchronous reliable channels with delays in
+//! `[d, D]`.
+
+use ares_types::{ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// Inclusive message-delay bounds `[d, D]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayBounds {
+    /// Minimum delivery delay `d` (must be at least 1).
+    pub min: Time,
+    /// Maximum delivery delay `D` (`min <= max`).
+    pub max: Time,
+}
+
+impl DelayBounds {
+    /// Creates bounds, validating `1 <= min <= max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0` or `min > max`.
+    pub fn new(min: Time, max: Time) -> Self {
+        assert!(min >= 1, "delays must be positive (messages are not instantaneous)");
+        assert!(min <= max, "min delay must not exceed max delay");
+        DelayBounds { min, max }
+    }
+
+    /// Samples a delay uniformly from `[min, max]`.
+    pub fn sample(&self, rng: &mut StdRng) -> Time {
+        if self.min == self.max {
+            self.min
+        } else {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+}
+
+/// The network configuration of an execution.
+///
+/// The default bounds apply to every message; per-client overrides apply
+/// to any message that belongs to an operation of that client (both the
+/// request and the matching reply carry the operation id). This is how the
+/// worst-case constructions of the latency analysis are realized: "we
+/// assume that reconfiguration operations may communicate respecting the
+/// minimum delay d, whereas read and write operations suffer the maximum
+/// delay D" (Section 4.4).
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Default delay bounds.
+    pub default: DelayBounds,
+    /// Per-client overrides: messages of ops invoked by this client use
+    /// these bounds instead.
+    pub per_client: HashMap<ProcessId, DelayBounds>,
+}
+
+impl NetworkConfig {
+    /// Uniform delays in `[d, D]` for everyone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d > D`.
+    pub fn uniform(d: Time, max_d: Time) -> Self {
+        NetworkConfig { default: DelayBounds::new(d, max_d), per_client: HashMap::new() }
+    }
+
+    /// Constant delay `d` for everyone (degenerate `[d, d]`).
+    pub fn constant(d: Time) -> Self {
+        Self::uniform(d, d)
+    }
+
+    /// Adds a per-client delay class (builder style).
+    #[must_use]
+    pub fn with_client_bounds(mut self, client: ProcessId, bounds: DelayBounds) -> Self {
+        self.per_client.insert(client, bounds);
+        self
+    }
+
+    /// Bounds applying to a message of operation-owner `op_client`.
+    pub fn bounds_for(&self, op_client: Option<ProcessId>) -> DelayBounds {
+        op_client
+            .and_then(|c| self.per_client.get(&c).copied())
+            .unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_stays_in_bounds() {
+        let b = DelayBounds::new(10, 30);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = b.sample(&mut rng);
+            assert!((10..=30).contains(&d));
+        }
+    }
+
+    #[test]
+    fn constant_bounds_always_equal() {
+        let b = DelayBounds::new(5, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.sample(&mut rng), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_delay_rejected() {
+        DelayBounds::new(0, 5);
+    }
+
+    #[test]
+    fn per_client_override() {
+        let fast = DelayBounds::new(1, 2);
+        let cfg = NetworkConfig::uniform(10, 20)
+            .with_client_bounds(ProcessId(9), fast);
+        assert_eq!(cfg.bounds_for(Some(ProcessId(9))), fast);
+        assert_eq!(cfg.bounds_for(Some(ProcessId(1))), DelayBounds::new(10, 20));
+        assert_eq!(cfg.bounds_for(None), DelayBounds::new(10, 20));
+    }
+}

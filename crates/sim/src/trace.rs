@@ -1,0 +1,92 @@
+//! Structured execution traces (used to regenerate Figure 1's
+//! reconfiguration walk-through and for debugging).
+
+use ares_types::{ProcessId, Time};
+
+/// What a trace event describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Message sent.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Message label.
+        label: String,
+        /// Data payload bytes (0 for metadata-only messages).
+        bytes: u64,
+    },
+    /// Message delivered.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Message label.
+        label: String,
+        /// Data payload bytes.
+        bytes: u64,
+    },
+    /// Process crashed.
+    Crash {
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// Free-form protocol annotation emitted by an actor
+    /// (e.g. "propose(c5) decided c5").
+    Note {
+        /// Emitting process.
+        pid: ProcessId,
+        /// Annotation text.
+        text: String,
+    },
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: Time,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            TraceKind::Send { from, to, label, .. } => {
+                write!(f, "[{:>8}] {from} -> {to}  {label}", self.at)
+            }
+            TraceKind::Deliver { from, to, label, .. } => {
+                write!(f, "[{:>8}] {from} => {to}  {label}", self.at)
+            }
+            TraceKind::Crash { pid } => write!(f, "[{:>8}] {pid} CRASH", self.at),
+            TraceKind::Note { pid, text } => write!(f, "[{:>8}] {pid}: {text}", self.at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = TraceEvent {
+            at: 42,
+            kind: TraceKind::Note { pid: ProcessId(3), text: "hello".into() },
+        };
+        assert!(e.to_string().contains("p3: hello"));
+        let s = TraceEvent {
+            at: 1,
+            kind: TraceKind::Send {
+                from: ProcessId(1),
+                to: ProcessId(2),
+                label: "X".into(),
+                bytes: 0,
+            },
+        };
+        assert!(s.to_string().contains("p1 -> p2"));
+    }
+}

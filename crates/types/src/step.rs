@@ -1,0 +1,95 @@
+//! The uniform output of protocol state-machine transitions.
+//!
+//! Every client-side protocol engine in this reproduction (DAP calls,
+//! Paxos proposer, configuration-service actions, ARES operations) is a
+//! pure state machine: feeding it an event returns a [`Step`] describing
+//! messages to send, an optional timer request, and — when the engine has
+//! finished — its output. Keeping engines pure makes each paper algorithm
+//! unit-testable without a simulator.
+
+use crate::ids::ProcessId;
+use crate::Time;
+
+/// Result of advancing a protocol engine by one event.
+#[derive(Debug)]
+pub struct Step<M, O> {
+    /// Messages to transmit: `(destination, message)` pairs.
+    pub sends: Vec<(ProcessId, M)>,
+    /// Set when the engine has produced its final output; the engine must
+    /// not be fed further events afterwards.
+    pub output: Option<O>,
+    /// If set, the engine wants to be woken after this delay (e.g. Paxos
+    /// backoff, TREAS read retry).
+    pub timer_after: Option<Time>,
+}
+
+impl<M, O> Step<M, O> {
+    /// A step with no effects.
+    pub fn idle() -> Self {
+        Step { sends: Vec::new(), output: None, timer_after: None }
+    }
+
+    /// A step that only sends messages.
+    pub fn sends(sends: Vec<(ProcessId, M)>) -> Self {
+        Step { sends, output: None, timer_after: None }
+    }
+
+    /// A step that completes with `output` (optionally after sends).
+    pub fn done(output: O) -> Self {
+        Step { sends: Vec::new(), output: Some(output), timer_after: None }
+    }
+
+    /// Adds sends to this step (builder style).
+    #[must_use]
+    pub fn with_sends(mut self, sends: Vec<(ProcessId, M)>) -> Self {
+        self.sends.extend(sends);
+        self
+    }
+
+    /// Adds a timer request (builder style).
+    #[must_use]
+    pub fn with_timer(mut self, after: Time) -> Self {
+        self.timer_after = Some(after);
+        self
+    }
+
+    /// True when nothing happened.
+    pub fn is_idle(&self) -> bool {
+        self.sends.is_empty() && self.output.is_none() && self.timer_after.is_none()
+    }
+
+    /// Maps the output type.
+    pub fn map<O2>(self, f: impl FnOnce(O) -> O2) -> Step<M, O2> {
+        Step { sends: self.sends, output: self.output.map(f), timer_after: self.timer_after }
+    }
+}
+
+impl<M, O> Default for Step<M, O> {
+    fn default() -> Self {
+        Step::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let s: Step<&str, u32> = Step::done(7)
+            .with_sends(vec![(ProcessId(1), "hello")])
+            .with_timer(10);
+        assert_eq!(s.output, Some(7));
+        assert_eq!(s.sends.len(), 1);
+        assert_eq!(s.timer_after, Some(10));
+        assert!(!s.is_idle());
+        assert!(Step::<(), ()>::idle().is_idle());
+    }
+
+    #[test]
+    fn map_transforms_output() {
+        let s: Step<(), u32> = Step::done(21);
+        let s2 = s.map(|x| x * 2);
+        assert_eq!(s2.output, Some(42));
+    }
+}

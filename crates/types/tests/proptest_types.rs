@@ -1,0 +1,149 @@
+//! Property-based tests for the core ARES types: tag ordering laws,
+//! configuration-sequence invariants (prefix order, absorb monotonicity),
+//! and quorum-system arithmetic.
+
+use ares_types::{ConfigEntry, ConfigId, ConfigSeq, ProcessId, QuorumSpec, Status, Tag};
+use proptest::prelude::*;
+
+fn tag_strategy() -> impl Strategy<Value = Tag> {
+    (0u64..1000, 0u32..50).prop_map(|(z, w)| Tag::new(z, ProcessId(w)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ------------------------------------------------------------------
+    // Tags (the total order of Section 2)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn tag_order_is_total_and_antisymmetric(a in tag_strategy(), b in tag_strategy()) {
+        let lt = a < b;
+        let gt = a > b;
+        let eq = a == b;
+        prop_assert_eq!(lt as u8 + gt as u8 + eq as u8, 1, "exactly one relation holds");
+        prop_assert_eq!(a.cmp(&b).reverse(), b.cmp(&a));
+    }
+
+    #[test]
+    fn tag_order_is_transitive(
+        a in tag_strategy(), b in tag_strategy(), c in tag_strategy()
+    ) {
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    #[test]
+    fn increment_dominates_all_tags_with_lower_or_equal_z(
+        t in tag_strategy(), w in 0u32..50, other_w in 0u32..50
+    ) {
+        let inc = t.increment(ProcessId(w));
+        prop_assert!(inc > t);
+        // inc beats any tag with the same z as t, regardless of writer.
+        prop_assert!(inc > Tag::new(t.z, ProcessId(other_w)));
+    }
+
+    #[test]
+    fn distinct_writers_never_collide_on_increment(
+        t in tag_strategy(), w1 in 0u32..50, w2 in 0u32..50
+    ) {
+        prop_assume!(w1 != w2);
+        prop_assert_ne!(t.increment(ProcessId(w1)), t.increment(ProcessId(w2)));
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration sequences (µ, ν, prefix order, absorb)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cseq_mu_is_always_at_most_nu(finalized in proptest::collection::vec(any::<bool>(), 0..12)) {
+        let mut seq = ConfigSeq::genesis(ConfigId(0));
+        for (i, f) in finalized.iter().enumerate() {
+            let id = ConfigId(i as u32 + 1);
+            seq.push(if *f { ConfigEntry::finalized(id) } else { ConfigEntry::pending(id) });
+        }
+        prop_assert!(seq.mu() <= seq.nu());
+        prop_assert_eq!(seq.nu() + 1, seq.len());
+        // µ points at a finalized entry, and nothing after µ is finalized.
+        prop_assert_eq!(seq.get(seq.mu()).status, Status::Finalized);
+        for i in seq.mu() + 1..=seq.nu() {
+            prop_assert_eq!(seq.get(i).status, Status::Pending);
+        }
+    }
+
+    #[test]
+    fn absorb_preserves_prefix_and_monotonicity(
+        len in 1usize..8,
+        updates in proptest::collection::vec((0usize..8, any::<bool>()), 0..20),
+    ) {
+        let mut seq = ConfigSeq::genesis(ConfigId(0));
+        for i in 0..len {
+            seq.push(ConfigEntry::pending(ConfigId(i as u32 + 1)));
+        }
+        let before = seq.clone();
+        let mut mu_history = vec![seq.mu()];
+        for (idx, fin) in updates {
+            let i = 1 + idx % seq.len().min(len); // existing non-genesis index
+            let id = seq.get(i).cfg;
+            let entry = if fin { ConfigEntry::finalized(id) } else { ConfigEntry::pending(id) };
+            seq.absorb(i, entry);
+            mu_history.push(seq.mu());
+        }
+        // Configuration ids never change (uniqueness), so `before` stays
+        // a prefix; µ never decreases (status monotonicity).
+        prop_assert!(before.is_prefix_of(&seq));
+        prop_assert!(mu_history.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn prefix_order_is_a_partial_order(
+        a_len in 0usize..6, b_len in 0usize..6, diverge in any::<bool>()
+    ) {
+        let mk = |len: usize, fork: bool| {
+            let mut s = ConfigSeq::genesis(ConfigId(0));
+            for i in 0..len {
+                let id = if fork && i == len - 1 { 900 + i as u32 } else { i as u32 + 1 };
+                s.push(ConfigEntry::pending(ConfigId(id)));
+            }
+            s
+        };
+        let a = mk(a_len, false);
+        let b = mk(b_len, diverge && b_len > 0);
+        // reflexive
+        prop_assert!(a.is_prefix_of(&a));
+        // antisymmetric up to status: mutual prefixes have equal ids
+        if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
+            prop_assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                prop_assert_eq!(a.get(i).cfg, b.get(i).cfg);
+            }
+        }
+        // comparable when not diverged
+        if !diverge || b_len == 0 {
+            prop_assert!(a.is_prefix_of(&b) || b.is_prefix_of(&a));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Quorum arithmetic
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn treas_quorum_invariants(n in 2usize..40, k_off in 0usize..40) {
+        let k = (n / 3 + 1 + k_off % n).min(n);
+        let q = QuorumSpec::treas(n, k);
+        let m = q.quorum_size(n);
+        prop_assert!(m <= n, "a quorum must be satisfiable");
+        prop_assert!(q.quorums_intersect(n));
+        prop_assert!(q.min_intersection(n) >= k, "decodability intersection");
+        prop_assert_eq!(q.fault_tolerance(n), (n - k) / 2);
+    }
+
+    #[test]
+    fn majority_quorums_always_intersect(n in 1usize..100) {
+        let q = QuorumSpec::Majority;
+        prop_assert!(q.quorums_intersect(n));
+        prop_assert!(q.min_intersection(n) >= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: full ARES executions across crates —
+//! clients, servers, consensus, DAPs, reconfiguration — checked for
+//! completeness and atomicity.
+
+use ares_harness::{Scenario, standard_universe};
+use ares_types::{OpKind, Value};
+
+#[test]
+fn quiet_system_write_read() {
+    let res = Scenario::new(standard_universe())
+        .clients([100, 110])
+        .seed(1)
+        .write_at(0, 100, 0, Value::filler(128, 1))
+        .read_at(1_000, 110, 0)
+        .run();
+    let h = res.assert_complete_and_atomic();
+    assert_eq!(h[1].tag, h[0].tag, "read returns the written tag");
+}
+
+#[test]
+fn migration_chain_over_all_dap_kinds() {
+    // c0 (ABD) -> c1 (TREAS[5,3]) -> c2 (TREAS[5,4]) -> c3 (LDR) -> c4
+    // (TREAS[7,5]) with reads and writes sprinkled throughout.
+    let mut s = Scenario::new(standard_universe()).clients([100, 110, 200]).seed(2);
+    s = s.write_at(0, 100, 0, Value::filler(96, 10));
+    for (i, target) in [1u32, 2, 3, 4].into_iter().enumerate() {
+        let t = 2_000 * (i as u64 + 1);
+        s = s.recon_at(t, 200, target);
+        s = s.write_at(t + 500, 100, 0, Value::filler(96, 20 + i as u64));
+        s = s.read_at(t + 900, 110, 0);
+    }
+    s = s.read_at(12_000, 110, 0);
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    // The final read must see the last write.
+    let last_write_tag =
+        h.iter().filter(|c| c.kind == OpKind::Write).map(|c| c.tag.unwrap()).max().unwrap();
+    let final_read = h
+        .iter()
+        .filter(|c| c.kind == OpKind::Read)
+        .max_by_key(|c| c.invoked_at)
+        .unwrap();
+    assert_eq!(final_read.tag, Some(last_write_tag));
+}
+
+#[test]
+fn migration_chain_with_direct_transfer() {
+    let mut s = Scenario::new(standard_universe())
+        .clients([100, 110, 200])
+        .direct_transfer()
+        .seed(3);
+    s = s.write_at(0, 100, 0, Value::filler(200, 5));
+    s = s.recon_at(1_500, 200, 1);
+    s = s.recon_at(5_000, 200, 2);
+    s = s.read_at(10_000, 110, 0);
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    let read = h.iter().find(|c| c.kind == OpKind::Read).unwrap();
+    let write = h.iter().find(|c| c.kind == OpKind::Write).unwrap();
+    assert_eq!(read.tag, write.tag);
+    assert_eq!(read.value_digest, write.value_digest);
+}
+
+#[test]
+fn many_writers_many_readers_no_reconfig() {
+    let mut s = Scenario::new(standard_universe()).clients(100..=109).seed(4);
+    for i in 0..10u64 {
+        let c = 100 + (i % 5) as u32;
+        s = s.write_at(i * 137, c, 0, Value::filler(48, i + 1));
+        s = s.read_at(i * 151 + 60, 105 + (i % 5) as u32, 0);
+    }
+    let res = s.run();
+    res.assert_complete_and_atomic();
+}
+
+#[test]
+fn reads_concurrent_with_migration_return_consistent_values() {
+    let mut s = Scenario::new(standard_universe()).clients([100, 110, 111, 200]).seed(5);
+    s = s.write_at(0, 100, 0, Value::filler(64, 1));
+    // Reconfiguration races with reads.
+    s = s.recon_at(900, 200, 1);
+    for i in 0..8u64 {
+        s = s.read_at(800 + i * 120, 110 + (i % 2) as u32, 0);
+    }
+    s = s.write_at(1_200, 100, 0, Value::filler(64, 2));
+    let res = s.run();
+    res.assert_complete_and_atomic();
+}
+
+#[test]
+fn storage_moves_to_new_configuration() {
+    // After migrating ABD(1-3) -> TREAS[5,3](4-8) and writing there, the
+    // new servers hold coded data.
+    let res = Scenario::new(standard_universe())
+        .clients([100, 200])
+        .seed(6)
+        .write_at(0, 100, 0, Value::filler(300, 1))
+        .recon_at(1_000, 200, 1)
+        .write_at(4_000, 100, 0, Value::filler(300, 2))
+        .run();
+    res.assert_complete_and_atomic();
+    let stored: std::collections::HashMap<u32, u64> =
+        res.storage_bytes.iter().map(|(p, b)| (p.0, *b)).collect();
+    // Each TREAS server stores fragments of ceil(300/3) = 100 bytes.
+    for s in 4..=8u32 {
+        assert!(
+            stored[&s] >= 100,
+            "server {s} should hold coded data, has {}",
+            stored[&s]
+        );
+    }
+}
+
+#[test]
+fn sequential_ops_from_one_client_are_totally_ordered() {
+    let mut s = Scenario::new(standard_universe()).clients([100]).seed(7);
+    for i in 0..6u64 {
+        s = s.write_at(i, 100, 0, Value::filler(16, i + 1));
+    }
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    let tags: Vec<_> = h.iter().map(|c| c.tag.unwrap()).collect();
+    for w in tags.windows(2) {
+        assert!(w[1] > w[0]);
+    }
+}
+
+#[test]
+fn history_metrics_are_populated() {
+    let res = Scenario::new(standard_universe())
+        .clients([100])
+        .seed(8)
+        .write_at(0, 100, 0, Value::filler(90, 3))
+        .run();
+    let h = res.assert_complete_and_atomic();
+    assert!(h[0].messages > 0, "per-op message count recorded");
+    // ABD write sends the 90-byte value to 3 servers.
+    assert!(h[0].payload_bytes >= 270, "payload {} >= 270", h[0].payload_bytes);
+}

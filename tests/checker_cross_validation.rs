@@ -1,0 +1,186 @@
+//! Cross-validation of the two safety oracles:
+//!
+//! * the fast tag-based atomicity checker (`ares_harness::atomicity`),
+//!   which trusts reported tags;
+//! * the exhaustive, tag-blind linearizability search
+//!   (`ares_harness::linearize`).
+//!
+//! Real protocol histories (small enough for exhaustive search) must
+//! pass **both**; mutated histories must be rejected by both; and on
+//! randomly *generated* abstract histories the two verdicts must agree
+//! (tag-checker atomic ⇒ exhaustively linearizable).
+
+use ares_harness::{check_atomicity, check_linearizable, LinResult, Scenario, standard_universe};
+use ares_types::{OpCompletion, OpKind, Value};
+use proptest::prelude::*;
+
+fn small_protocol_history(seed: u64, ops: u64, with_recon: bool) -> Vec<OpCompletion> {
+    let mut s = Scenario::new(standard_universe()).clients([100, 101, 110]).seed(seed);
+    for i in 0..ops {
+        let t = i * 157 + (seed % 91);
+        if i % 3 == 0 {
+            s = s.read_at(t, 110, 0);
+        } else {
+            s = s.write_at(t, 100 + (i % 2) as u32, 0, Value::filler(24, seed * 100 + i));
+        }
+    }
+    if with_recon {
+        s = s.client(ares_types::ProcessId(200)).recon_at(200, 200, 1);
+    }
+    let res = s.run();
+    res.completions
+}
+
+#[test]
+fn protocol_histories_pass_both_checkers() {
+    for seed in 0..30u64 {
+        let h = small_protocol_history(seed, 10, seed % 2 == 0);
+        check_atomicity(&h).assert_atomic();
+        assert_eq!(
+            check_linearizable(&h),
+            LinResult::Linearizable,
+            "seed {seed}: exhaustive checker disagrees with tag checker"
+        );
+    }
+}
+
+#[test]
+fn mutated_read_value_rejected_by_both() {
+    for seed in 0..10u64 {
+        let mut h = small_protocol_history(seed, 9, false);
+        // Corrupt the digest of the last read that returned a written
+        // value (skip initial-value reads: corrupting those produces a
+        // phantom too, but let's hit the common case).
+        let Some(read) = h
+            .iter_mut()
+            .rev()
+            .find(|c| c.kind == OpKind::Read && c.tag.is_some_and(|t| t.z > 0))
+        else {
+            continue;
+        };
+        *read.value_digest.as_mut().unwrap() ^= 0xDEAD_BEEF;
+        assert!(!check_atomicity(&h).is_atomic(), "seed {seed}: tag checker missed it");
+        assert_eq!(
+            check_linearizable(&h),
+            LinResult::NotLinearizable,
+            "seed {seed}: exhaustive checker missed it"
+        );
+    }
+}
+
+#[test]
+fn swapped_read_tag_detected_by_tag_checker() {
+    // Tag corruption that keeps the value consistent with *some* write is
+    // exactly the case only the tag checker can see a problem with when
+    // it breaks real-time order.
+    for seed in 0..10u64 {
+        let h = small_protocol_history(seed, 12, false);
+        let writes: Vec<_> = h.iter().filter(|c| c.kind == OpKind::Write).collect();
+        if writes.len() < 2 {
+            continue;
+        }
+        let (first, last) = (writes[0].clone(), writes[writes.len() - 1].clone());
+        if last.completed_at >= h.iter().map(|c| c.invoked_at).max().unwrap() {
+            continue;
+        }
+        let mut mutated = h.clone();
+        // Make the chronologically last read claim the *first* write
+        // although the last write completed before that read started.
+        if let Some(read) = mutated
+            .iter_mut()
+            .filter(|c| c.kind == OpKind::Read)
+            .max_by_key(|c| c.invoked_at)
+        {
+            if read.invoked_at > last.completed_at {
+                read.tag = first.tag;
+                read.value_digest = first.value_digest;
+                assert!(
+                    !check_atomicity(&mutated).is_atomic(),
+                    "seed {seed}: stale read not detected"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated abstract histories
+// ---------------------------------------------------------------------
+
+/// Builds a random *valid* history by simulating an atomic register:
+/// operations execute at a random serialization point within their
+/// [invocation, response] window.
+fn valid_history(windows: Vec<(u64, u64, bool)>) -> Vec<OpCompletion> {
+    use ares_types::{OpId, ProcessId, Tag};
+    // Serialization point = midpoint of the window; apply in that order.
+    let mut order: Vec<(usize, u64)> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, (iv, cp, _))| (i, (iv + cp) / 2))
+        .collect();
+    order.sort_by_key(|&(_, p)| p);
+    let mut state_tag = Tag::ZERO;
+    let mut state_digest = Value::initial().digest();
+    let mut out: Vec<Option<OpCompletion>> = vec![None; windows.len()];
+    let mut z = 0;
+    for (i, _) in order {
+        let (iv, cp, is_write) = windows[i];
+        let mut c = OpCompletion::new(
+            OpId { client: ProcessId(1 + i as u32), seq: 0 },
+            if is_write { OpKind::Write } else { OpKind::Read },
+            iv,
+            cp,
+        );
+        if is_write {
+            z += 1;
+            state_tag = Tag::new(z, ProcessId(1 + i as u32));
+            state_digest = 0x1000 + z;
+            c.tag = Some(state_tag);
+            c.value_digest = Some(state_digest);
+        } else {
+            c.tag = Some(state_tag);
+            c.value_digest = Some(state_digest);
+        }
+        out[i] = Some(c);
+    }
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+fn window_strategy() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    proptest::collection::vec(
+        (0u64..400, 1u64..120, any::<bool>()).prop_map(|(iv, len, w)| (iv, iv + len, w)),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_valid_histories_pass_both(windows in window_strategy()) {
+        let h = valid_history(windows);
+        prop_assert!(check_atomicity(&h).is_atomic());
+        prop_assert_eq!(check_linearizable(&h), LinResult::Linearizable);
+    }
+
+    #[test]
+    fn tag_checker_atomic_implies_exhaustively_linearizable(
+        windows in window_strategy(),
+        corrupt in any::<Option<(prop::sample::Index, u64)>>(),
+    ) {
+        // Start from a valid history, maybe corrupt one entry, and check
+        // the implication: tag-atomic ⇒ linearizable. (The converse need
+        // not hold: the tag checker is stricter because it also validates
+        // the implementation's tag discipline.)
+        let mut h = valid_history(windows);
+        if let Some((idx, bits)) = corrupt {
+            let i = idx.index(h.len());
+            if let Some(d) = h[i].value_digest.as_mut() {
+                *d ^= bits;
+            }
+        }
+        if check_atomicity(&h).is_atomic() {
+            prop_assert_eq!(check_linearizable(&h), LinResult::Linearizable);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Reconfiguration-heavy executions: long configuration chains, rival
+//! reconfigurers racing through consensus, clients catching up with the
+//! moving sequence.
+
+use ares_harness::{Scenario, standard_universe};
+use ares_types::{ConfigId, Configuration, OpKind, ProcessId, Value};
+
+/// A long chain of TREAS configurations over a rotating server window.
+fn chain_universe(len: u32) -> Vec<Configuration> {
+    let mut v = vec![Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect())];
+    for i in 1..=len {
+        // 5 servers, window sliding by 1 each config, k=3, delta=2.
+        let lo = 1 + i;
+        let servers = (lo..lo + 5).map(ProcessId).collect();
+        v.push(Configuration::treas(ConfigId(i), servers, 3, 2));
+    }
+    v
+}
+
+#[test]
+fn long_chain_installs_in_order() {
+    let n = 6;
+    let mut s = Scenario::new(chain_universe(n)).clients([200]).seed(1);
+    for i in 1..=n {
+        s = s.recon_at(i as u64 * 3_000, 200, i);
+    }
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    let installed: Vec<_> = h.iter().filter_map(|c| c.installed).collect();
+    assert_eq!(installed, (1..=n).map(ConfigId).collect::<Vec<_>>());
+}
+
+#[test]
+fn rival_reconfigurers_all_terminate() {
+    // Three reconfigurers slam different targets simultaneously; every
+    // reconfig completes and every installed id comes from the universe.
+    let mut s = Scenario::new(chain_universe(3)).clients([200, 201, 202]).seed(2);
+    s = s.recon_at(0, 200, 1);
+    s = s.recon_at(0, 201, 2);
+    s = s.recon_at(0, 202, 3);
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    assert_eq!(h.len(), 3);
+    for c in h {
+        let id = c.installed.expect("recon installed something");
+        assert!((1..=3).map(ConfigId).any(|x| x == id));
+    }
+}
+
+#[test]
+fn writes_catch_up_with_chain() {
+    // A write begins while reconfigurers extend the chain; Alg. 7's
+    // put-data / read-config loop must chase the sequence to its end.
+    let n = 5;
+    let mut s = Scenario::new(chain_universe(n)).clients([100, 200]).seed(3);
+    s = s.write_at(0, 100, 0, Value::filler(60, 1));
+    for i in 1..=n {
+        s = s.recon_at((i as u64 - 1) * 400, 200, i);
+    }
+    s = s.write_at(6_000, 100, 0, Value::filler(60, 2));
+    s = s.read_at(30_000, 100, 0);
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    let read = h.iter().find(|c| c.kind == OpKind::Read).unwrap();
+    let w2 = h
+        .iter()
+        .filter(|c| c.kind == OpKind::Write)
+        .max_by_key(|c| c.tag)
+        .unwrap();
+    assert_eq!(read.tag, w2.tag, "final read sees the newest write across the chain");
+}
+
+#[test]
+fn reads_during_storm_remain_atomic() {
+    let n = 4;
+    let mut s =
+        Scenario::new(chain_universe(n)).clients([100, 110, 111, 200, 201]).seed(4);
+    s = s.write_at(0, 100, 0, Value::filler(80, 9));
+    s = s.recon_at(500, 200, 1);
+    s = s.recon_at(600, 201, 2);
+    s = s.recon_at(5_000, 200, 3);
+    s = s.recon_at(5_100, 201, 4);
+    for i in 0..10u64 {
+        s = s.read_at(400 + i * 700, 110 + (i % 2) as u32, 0);
+        if i % 3 == 0 {
+            s = s.write_at(450 + i * 700, 100, 0, Value::filler(80, 10 + i));
+        }
+    }
+    let res = s.run();
+    res.assert_complete_and_atomic();
+}
+
+#[test]
+fn direct_transfer_through_long_chain() {
+    let n = 5;
+    let mut s = Scenario::new(chain_universe(n))
+        .clients([100, 200])
+        .direct_transfer()
+        .seed(5);
+    s = s.write_at(0, 100, 0, Value::filler(150, 77));
+    for i in 1..=n {
+        s = s.recon_at(i as u64 * 2_500, 200, i);
+    }
+    s = s.read_at(n as u64 * 2_500 + 8_000, 100, 0);
+    let res = s.run();
+    let h = res.assert_complete_and_atomic();
+    let read = h.iter().find(|c| c.kind == OpKind::Read).unwrap();
+    let write = h.iter().find(|c| c.kind == OpKind::Write).unwrap();
+    assert_eq!(read.value_digest, write.value_digest, "value survives 5 direct hops");
+}
+
+#[test]
+fn client_cseq_prefix_property_observable() {
+    // Two sequential reconfigs from the same client: the second starts
+    // from the first's final sequence; installed ids must extend, never
+    // contradict (observable via the per-op installed order).
+    let res = Scenario::new(standard_universe())
+        .clients([200])
+        .seed(6)
+        .recon_at(0, 200, 1)
+        .recon_at(1, 200, 2)
+        .recon_at(2, 200, 4)
+        .run();
+    let h = res.assert_complete_and_atomic();
+    let installed: Vec<_> = h.iter().filter_map(|c| c.installed).collect();
+    assert_eq!(installed, vec![ConfigId(1), ConfigId(2), ConfigId(4)]);
+}
