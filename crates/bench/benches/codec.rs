@@ -37,11 +37,9 @@ fn bench_encode(c: &mut Criterion) {
         for size in [1usize << 10, 1 << 16] {
             let value: Vec<u8> = (0..size).map(|i| i as u8).collect();
             g.throughput(Throughput::Bytes(size as u64));
-            g.bench_with_input(
-                BenchmarkId::new(format!("n{n}k{k}"), size),
-                &value,
-                |b, v| b.iter(|| code.encode(black_box(v))),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("n{n}k{k}"), size), &value, |b, v| {
+                b.iter(|| code.encode(black_box(v)))
+            });
         }
     }
     g.finish();

@@ -4,7 +4,7 @@
 //! throughput.
 
 use ares_bench::StaticRig;
-use ares_harness::{Scenario, standard_universe};
+use ares_harness::{standard_universe, Scenario};
 use ares_types::{ConfigId, Configuration, ProcessId, Value};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -13,10 +13,7 @@ fn bench_static_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("static_register");
     for (name, cfg) in [
         ("abd_n3", Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect())),
-        (
-            "treas_n5k3",
-            Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2),
-        ),
+        ("treas_n5k3", Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)),
         ("ldr_n5f1", Configuration::ldr(ConfigId(0), (1..=5).map(ProcessId).collect(), 1)),
     ] {
         g.bench_function(format!("{name}_write_read_pair"), |b| {
@@ -46,11 +43,8 @@ fn bench_ares_ops(c: &mut Criterion) {
     });
     g.bench_function("one_reconfiguration", |b| {
         b.iter(|| {
-            let res = Scenario::new(standard_universe())
-                .clients([200])
-                .seed(2)
-                .recon_at(0, 200, 1)
-                .run();
+            let res =
+                Scenario::new(standard_universe()).clients([200]).seed(2).recon_at(0, 200, 1).run();
             black_box(res.completions.len())
         });
     });

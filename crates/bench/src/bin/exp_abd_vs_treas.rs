@@ -33,12 +33,7 @@ fn run(cfg: Configuration) -> Outcome {
 fn main() {
     println!("# E3: ABD (3 replicas) vs TREAS [3,2] — 1 MB object on 3 servers\n");
     let abd = run(Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect()));
-    let treas = run(Configuration::treas(
-        ConfigId(0),
-        (1..=3).map(ProcessId).collect(),
-        2,
-        1,
-    ));
+    let treas = run(Configuration::treas(ConfigId(0), (1..=3).map(ProcessId).collect(), 2, 1));
 
     let mb = MB as f64;
     header(&["metric", "ABD", "TREAS [3,2]", "paper claim"]);

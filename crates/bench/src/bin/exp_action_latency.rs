@@ -17,7 +17,8 @@ fn run(d: u64, big_d: u64, dap: &str) -> BTreeMap<String, Vec<f64>> {
         "abd" => Configuration::abd(ConfigId(0), (1..=5).map(ProcessId).collect()),
         _ => Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2),
     };
-    let mut s = Scenario::new(vec![cfg]).clients([100]).delays(d, big_d).seed(d * 31 + big_d).with_trace();
+    let mut s =
+        Scenario::new(vec![cfg]).clients([100]).delays(d, big_d).seed(d * 31 + big_d).with_trace();
     for i in 0..40u64 {
         if i % 2 == 0 {
             s = s.write_at(i * 10_000, 100, 0, Value::filler(60, i + 1));
@@ -45,10 +46,7 @@ fn main() {
                 // `dap`, `put-config` and `read-next-config` are the
                 // elementary two-message actions the lemmas bound.
                 // (read-config / write / read are composites.)
-                let bounded = matches!(
-                    name.as_str(),
-                    "dap" | "put-config" | "read-next-config"
-                );
+                let bounded = matches!(name.as_str(), "dap" | "put-config" | "read-next-config");
                 if !bounded {
                     continue;
                 }

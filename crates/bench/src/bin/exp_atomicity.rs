@@ -5,9 +5,14 @@
 //! is the standard experimental counterpart.
 
 use ares_bench::{header, row};
-use ares_harness::{check_atomicity, par_seeds, Scenario, WorkloadSpec, standard_universe};
+use ares_harness::{check_atomicity, par_seeds, standard_universe, Scenario, WorkloadSpec};
 
-fn run_family(name: &str, seeds: std::ops::Range<u64>, direct: bool, crash: bool) -> (usize, usize, usize) {
+fn run_family(
+    name: &str,
+    seeds: std::ops::Range<u64>,
+    direct: bool,
+    crash: bool,
+) -> (usize, usize, usize) {
     let results = par_seeds(&seeds.collect::<Vec<_>>(), |seed| {
         let spec = WorkloadSpec {
             writers: vec![100, 101, 102],

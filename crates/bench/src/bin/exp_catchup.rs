@@ -18,14 +18,7 @@ use ares_types::{ConfigId, Configuration, ProcessId, Value};
 
 fn chain(len: u32) -> Vec<Configuration> {
     (0..=len)
-        .map(|i| {
-            Configuration::treas(
-                ConfigId(i),
-                (i + 1..=i + 5).map(ProcessId).collect(),
-                3,
-                2,
-            )
-        })
+        .map(|i| Configuration::treas(ConfigId(i), (i + 1..=i + 5).map(ProcessId).collect(), 3, 2))
         .collect()
 }
 

@@ -11,12 +11,7 @@ use ares_types::{ConfigId, Configuration, OpKind, ProcessId};
 const VALUE_SIZE: usize = 9240; // lcm(3,4,5,7,8,11): divisible by every swept k
 
 fn measure(n: usize, k: usize, delta: usize) -> (f64, f64) {
-    let cfg = Configuration::treas(
-        ConfigId(0),
-        (1..=n as u32).map(ProcessId).collect(),
-        k,
-        delta,
-    );
+    let cfg = Configuration::treas(ConfigId(0), (1..=n as u32).map(ProcessId).collect(), k, delta);
     let mut rig = StaticRig::new(cfg, 1, 1, 10, 30, 7);
     // Saturate lists so the read sees worst-case list sizes.
     for i in 0..(delta + 1) as u64 {
@@ -32,23 +27,12 @@ fn measure(n: usize, k: usize, delta: usize) -> (f64, f64) {
         .max_by_key(|c| c.invoked_at)
         .expect("measured write");
     let rd = h.iter().find(|c| c.kind == OpKind::Read).expect("measured read");
-    (
-        wr.payload_bytes as f64 / VALUE_SIZE as f64,
-        rd.payload_bytes as f64 / VALUE_SIZE as f64,
-    )
+    (wr.payload_bytes as f64 / VALUE_SIZE as f64, rd.payload_bytes as f64 / VALUE_SIZE as f64)
 }
 
 fn main() {
     println!("# E2: TREAS communication cost vs Theorem 3(ii)/(iii)\n");
-    header(&[
-        "n",
-        "k",
-        "δ",
-        "write meas",
-        "write bound n/k",
-        "read meas",
-        "read bound (δ+2)n/k",
-    ]);
+    header(&["n", "k", "δ", "write meas", "write bound n/k", "read meas", "read bound (δ+2)n/k"]);
     for (n, k) in [(5usize, 3usize), (5, 4), (9, 5), (9, 7), (12, 8), (15, 11)] {
         for delta in [1usize, 2, 4] {
             let (w, r) = measure(n, k, delta);

@@ -11,8 +11,7 @@ use ares_bench::{header, row, StaticRig, Stats};
 use ares_types::{ConfigId, Configuration, OpKind, ProcessId};
 
 fn run(delta: usize, writers: usize, seed: u64) -> (bool, u64) {
-    let cfg =
-        Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, delta);
+    let cfg = Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, delta);
     let mut rig = StaticRig::new(cfg, writers, 1, 10, 60, seed);
     // Settle one base value first.
     rig.write(0, 0, 60, 1_000_000);

@@ -12,14 +12,7 @@ use ares_types::{ConfigId, Configuration, ProcessId, Value};
 
 fn chain(len: u32) -> Vec<Configuration> {
     (0..=len)
-        .map(|i| {
-            Configuration::treas(
-                ConfigId(i),
-                (i + 1..=i + 5).map(ProcessId).collect(),
-                3,
-                2,
-            )
-        })
+        .map(|i| Configuration::treas(ConfigId(i), (i + 1..=i + 5).map(ProcessId).collect(), 3, 2))
         .collect()
 }
 
@@ -58,22 +51,24 @@ fn main() {
                     println!("[t={:>6}]   {text}", ev.at);
                 }
             }
-            TraceKind::Send { from, to, label, .. } if *from == rc
+            TraceKind::Send { from, to, label, .. }
+                if *from == rc
                 // Collapse each broadcast into one arrow like the figure.
-                && *label != last_label => {
-                    arrow += 1;
-                    println!("[t={:>6}]   arrow {arrow:>2}: {from} → {to},…  {label}", ev.at);
-                    last_label = label.clone();
-                }
+                && *label != last_label =>
+            {
+                arrow += 1;
+                println!("[t={:>6}]   arrow {arrow:>2}: {from} → {to},…  {label}", ev.at);
+                last_label = label.clone();
+            }
             _ => {}
         }
     }
-    let rec = res
-        .completions
-        .iter()
-        .find(|c| c.op.client == rc)
-        .expect("recon(c5) completed");
-    println!("\nrecon(c5) completed at t={} having installed {}", rec.completed_at, rec.installed.unwrap());
+    let rec = res.completions.iter().find(|c| c.op.client == rc).expect("recon(c5) completed");
+    println!(
+        "\nrecon(c5) completed at t={} having installed {}",
+        rec.completed_at,
+        rec.installed.unwrap()
+    );
     assert_eq!(rec.installed, Some(ConfigId(5)));
     println!("matches Figure 1: traversal hops through c0..c4, propose on c4,");
     println!("update-config transfer, finalize-config write-back ✓");

@@ -22,17 +22,9 @@ fn main() {
         "majority safe?",
         "majority f",
     ]);
-    for (n, k) in [
-        (3usize, 2usize),
-        (5, 2),
-        (5, 3),
-        (5, 4),
-        (9, 4),
-        (9, 5),
-        (9, 7),
-        (12, 5),
-        (15, 8),
-    ] {
+    for (n, k) in
+        [(3usize, 2usize), (5, 2), (5, 3), (5, 4), (9, 4), (9, 5), (9, 7), (12, 5), (15, 8)]
+    {
         let treas = QuorumSpec::treas(n, k);
         let maj = QuorumSpec::Majority;
         let maj_safe = maj.min_intersection(n) >= k;
@@ -53,8 +45,7 @@ fn main() {
     header(&["n", "k", "crashes", "ops completed"]);
     for (n, k) in [(5usize, 3usize), (9, 5), (9, 7)] {
         let f = (n - k) / 2;
-        let cfg =
-            Configuration::treas(ConfigId(0), (1..=n as u32).map(ProcessId).collect(), k, 2);
+        let cfg = Configuration::treas(ConfigId(0), (1..=n as u32).map(ProcessId).collect(), k, 2);
         let mut rig = StaticRig::new(cfg, 1, 1, 10, 40, 9);
         for i in 0..f {
             rig.world.schedule_crash(0, ProcessId((n - i) as u32));

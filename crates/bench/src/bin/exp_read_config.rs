@@ -19,14 +19,7 @@ use ares_types::{ConfigId, Configuration, ProcessId};
 
 fn chain(len: u32) -> Vec<Configuration> {
     (0..=len)
-        .map(|i| {
-            Configuration::treas(
-                ConfigId(i),
-                (i + 1..=i + 5).map(ProcessId).collect(),
-                3,
-                2,
-            )
-        })
+        .map(|i| Configuration::treas(ConfigId(i), (i + 1..=i + 5).map(ProcessId).collect(), 3, 2))
         .collect()
 }
 
@@ -66,8 +59,7 @@ fn main() {
     ]);
     for lambda in 0..=6u32 {
         // Average over a few seeds for a stable picture.
-        let samples: Vec<u64> =
-            (0..5).map(|s| measure(lambda, d, big_d, 1000 + s)).collect();
+        let samples: Vec<u64> = (0..5).map(|s| measure(lambda, d, big_d, 1000 + s)).collect();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         let tight_min = 4 * d * lambda as u64 + 2 * d;

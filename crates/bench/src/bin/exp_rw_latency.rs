@@ -14,14 +14,7 @@ use ares_types::{ConfigId, Configuration, OpKind, ProcessId, Value};
 
 fn chain(len: u32) -> Vec<Configuration> {
     (0..=len)
-        .map(|i| {
-            Configuration::treas(
-                ConfigId(i),
-                (i + 1..=i + 5).map(ProcessId).collect(),
-                3,
-                2,
-            )
-        })
+        .map(|i| Configuration::treas(ConfigId(i), (i + 1..=i + 5).map(ProcessId).collect(), 3, 2))
         .collect()
 }
 
@@ -32,10 +25,8 @@ fn main() {
     let mut all_ok = true;
     for gap in [20_000u64, 5_000, 2_000, 800] {
         let n_recon = 6u32;
-        let mut s = Scenario::new(chain(n_recon))
-            .clients([100, 110, 200])
-            .delays(d, big_d)
-            .seed(gap);
+        let mut s =
+            Scenario::new(chain(n_recon)).clients([100, 110, 200]).delays(d, big_d).seed(gap);
         for i in 1..=n_recon {
             s = s.recon_at(i as u64 * gap, 200, i);
         }
@@ -62,7 +53,10 @@ fn main() {
             // earlier ops. This over-approximates ν(σe) − µ(σs).
             let lambda = recons
                 .iter()
-                .filter(|r| r.completed_at >= c.invoked_at.saturating_sub(gap) && r.invoked_at <= c.completed_at)
+                .filter(|r| {
+                    r.completed_at >= c.invoked_at.saturating_sub(gap)
+                        && r.invoked_at <= c.completed_at
+                })
                 .count() as u64;
             max_lambda = max_lambda.max(lambda);
             let bound = 6.0 * big_d as f64 * (lambda as f64 + 2.0);

@@ -50,11 +50,7 @@ fn run(size: usize, direct: bool) -> Measured {
             _ => 0,
         })
         .sum();
-    Measured {
-        client_bytes,
-        total_recon_bytes: rec.payload_bytes,
-        recon_latency: rec.latency(),
-    }
+    Measured { client_bytes, total_recon_bytes: rec.payload_bytes, recon_latency: rec.latency() }
 }
 
 fn main() {

@@ -11,12 +11,7 @@ use ares_types::{ConfigId, Configuration, ProcessId};
 const VALUE_SIZE: usize = 6 * 7 * 8 * 9; // divisible by every k we sweep
 
 fn measure(n: usize, k: usize, delta: usize) -> f64 {
-    let cfg = Configuration::treas(
-        ConfigId(0),
-        (1..=n as u32).map(ProcessId).collect(),
-        k,
-        delta,
-    );
+    let cfg = Configuration::treas(ConfigId(0), (1..=n as u32).map(ProcessId).collect(), k, delta);
     let mut rig = StaticRig::new(cfg, 1, 0, 10, 30, 42);
     // 2(δ+1) sequential writes: every List saturates at δ+1 elements.
     for i in 0..(2 * (delta + 1)) as u64 {
@@ -31,7 +26,12 @@ fn main() {
     println!("# E1: TREAS storage cost vs Theorem 3(i): (δ+1)·n/k\n");
     header(&["n", "k", "δ", "measured n·bytes/|v|", "paper (δ+1)n/k", "ratio"]);
     let mut worst: f64 = 0.0;
-    for (n, ks) in [(5usize, vec![2usize, 3, 4]), (9, vec![4, 5, 7]), (12, vec![5, 8, 10]), (15, vec![6, 11, 13])] {
+    for (n, ks) in [
+        (5usize, vec![2usize, 3, 4]),
+        (9, vec![4, 5, 7]),
+        (12, vec![5, 8, 10]),
+        (15, vec![6, 11, 13]),
+    ] {
         for k in ks {
             if k <= n / 3 {
                 continue; // liveness requires k > n/3 (Theorem 9)

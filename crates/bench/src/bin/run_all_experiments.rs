@@ -37,7 +37,9 @@ fn main() {
             Command::new(&bin).status()
         } else {
             // Fall back to cargo when run via `cargo run` from source.
-            Command::new("cargo").args(["run", "--quiet", "-p", "ares-bench", "--bin", exp]).status()
+            Command::new("cargo")
+                .args(["run", "--quiet", "-p", "ares-bench", "--bin", exp])
+                .status()
         };
         match status {
             Ok(st) if st.success() => {}

@@ -5,9 +5,7 @@
 use ares_dap::server::DapServer;
 use ares_dap::template::{RegisterOp, StaticClientActor, StaticMsg, StaticServerActor};
 use ares_sim::{NetworkConfig, World};
-use ares_types::{
-    ConfigRegistry, Configuration, ObjectId, OpCompletion, ProcessId, Time, Value,
-};
+use ares_types::{ConfigRegistry, Configuration, ObjectId, OpCompletion, ProcessId, Time, Value};
 use std::sync::Arc;
 
 /// The environment pseudo-process.
@@ -71,7 +69,14 @@ pub struct StaticRig {
 
 impl StaticRig {
     /// Builds the rig for `cfg` with the given client counts.
-    pub fn new(cfg: Configuration, n_writers: usize, n_readers: usize, d: Time, big_d: Time, seed: u64) -> Self {
+    pub fn new(
+        cfg: Configuration,
+        n_writers: usize,
+        n_readers: usize,
+        d: Time,
+        big_d: Time,
+        seed: u64,
+    ) -> Self {
         let id = cfg.id;
         let servers = cfg.servers.clone();
         let reg = ConfigRegistry::from_configs([cfg]);
@@ -81,8 +86,7 @@ impl StaticRig {
             world.add_actor(s, StaticServerActor::new(DapServer::new(s, reg.clone())));
         }
         let writers: Vec<ProcessId> = (0..n_writers as u32).map(|i| ProcessId(100 + i)).collect();
-        let readers: Vec<ProcessId> =
-            (0..n_readers as u32).map(|i| ProcessId(150 + i)).collect();
+        let readers: Vec<ProcessId> = (0..n_readers as u32).map(|i| ProcessId(150 + i)).collect();
         for &c in writers.iter().chain(&readers) {
             world.add_actor(c, StaticClientActor::new(cfg.clone(), ObjectId(0)));
         }
@@ -135,10 +139,7 @@ impl StaticRig {
 /// Extracts per-action durations from a traced ARES run: returns
 /// `(action_name, duration)` for every balanced `+name` / `-name` note
 /// pair of one client.
-pub fn action_durations(
-    trace: &[ares_sim::TraceEvent],
-    client: ProcessId,
-) -> Vec<(String, Time)> {
+pub fn action_durations(trace: &[ares_sim::TraceEvent], client: ProcessId) -> Vec<(String, Time)> {
     let mut stack: Vec<(String, Time)> = Vec::new();
     let mut out = Vec::new();
     for ev in trace {

@@ -169,11 +169,7 @@ impl Matrix {
                     continue;
                 }
                 let dst = r * out.cols;
-                gf256::mul_add_slice(
-                    &mut out.data[dst..dst + out.cols],
-                    other.row(i),
-                    a,
-                );
+                gf256::mul_add_slice(&mut out.data[dst..dst + out.cols], other.row(i), a);
             }
         }
         out
@@ -206,9 +202,7 @@ impl Matrix {
 
         for col in 0..n {
             // Find a pivot.
-            let pivot = (col..n)
-                .find(|&r| a.get(r, col) != 0)
-                .ok_or(SingularMatrixError)?;
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0).ok_or(SingularMatrixError)?;
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);

@@ -53,9 +53,8 @@ impl ReedSolomon {
         }
         let vander = Matrix::vandermonde(n, k);
         let top = vander.select_rows(&(0..k).collect::<Vec<_>>());
-        let top_inv = top
-            .inverted()
-            .expect("top block of a Vandermonde matrix is always invertible");
+        let top_inv =
+            top.inverted().expect("top block of a Vandermonde matrix is always invertible");
         let generator = vander.mul(&top_inv);
         Ok(ReedSolomon { params: CodeParams { n, k }, generator })
     }
@@ -90,11 +89,7 @@ impl ErasureCode for ReedSolomon {
             for (j, s) in shards.iter().enumerate() {
                 crate::gf256::mul_add_slice(&mut coded, s, row[j]);
             }
-            out.push(Fragment {
-                index: i,
-                value_len: value.len(),
-                data: Bytes::from(coded),
-            });
+            out.push(Fragment { index: i, value_len: value.len(), data: Bytes::from(coded) });
         }
         out
     }
@@ -150,9 +145,7 @@ impl ErasureCode for ReedSolomon {
         // General path: invert the k x k submatrix of generator rows.
         let rows: Vec<usize> = chosen.iter().map(|f| f.index).collect();
         let sub = self.generator.select_rows(&rows);
-        let inv = sub
-            .inverted()
-            .expect("any k distinct rows of an MDS generator are invertible");
+        let inv = sub.inverted().expect("any k distinct rows of an MDS generator are invertible");
         // data shard j = sum_i inv[j][i] * coded[rows[i]]
         for j in 0..k {
             let dst = &mut value[j * shard..(j + 1) * shard];
@@ -211,10 +204,8 @@ mod tests {
             if mask.count_ones() as usize != k {
                 continue;
             }
-            let subset: Vec<Fragment> = (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| frags[i].clone())
-                .collect();
+            let subset: Vec<Fragment> =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| frags[i].clone()).collect();
             assert_eq!(code.decode(&subset).unwrap(), value, "mask {mask:b}");
         }
     }

@@ -56,9 +56,7 @@ impl ErasureCode for Replication {
     }
 
     fn decode(&self, fragments: &[Fragment]) -> Result<Vec<u8>, CodeError> {
-        let f = fragments
-            .first()
-            .ok_or(CodeError::NotEnoughFragments { have: 0, need: 1 })?;
+        let f = fragments.first().ok_or(CodeError::NotEnoughFragments { have: 0, need: 1 })?;
         if f.index >= self.n {
             return Err(CodeError::BadFragmentIndex { index: f.index, n: self.n });
         }

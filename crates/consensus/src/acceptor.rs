@@ -58,10 +58,7 @@ impl Acceptor {
                         },
                     )]
                 } else {
-                    vec![(
-                        from,
-                        ConMsg::NackPrepare { inst, rpc, promised: self.promised, op },
-                    )]
+                    vec![(from, ConMsg::NackPrepare { inst, rpc, promised: self.promised, op })]
                 }
             }
             ConMsg::Accept { inst, rpc, ballot, value, op } => {
@@ -70,10 +67,7 @@ impl Acceptor {
                     self.accepted = Some((ballot, value));
                     vec![(from, ConMsg::Accepted { inst, rpc, ballot, op })]
                 } else {
-                    vec![(
-                        from,
-                        ConMsg::NackAccept { inst, rpc, promised: self.promised, op },
-                    )]
+                    vec![(from, ConMsg::NackAccept { inst, rpc, promised: self.promised, op })]
                 }
             }
             ConMsg::Decide { value, .. } => {
@@ -166,7 +160,8 @@ mod tests {
     #[test]
     fn decide_is_sticky_and_reported() {
         let mut a = Acceptor::new();
-        assert!(a.handle(ProcessId(1), ConMsg::Decide { inst: ConfigId(0), value: ConfigId(9) })
+        assert!(a
+            .handle(ProcessId(1), ConMsg::Decide { inst: ConfigId(0), value: ConfigId(9) })
             .is_empty());
         assert_eq!(a.decided(), Some(ConfigId(9)));
         let r = a.handle(ProcessId(2), prepare(9, 2));

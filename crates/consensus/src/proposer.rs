@@ -31,7 +31,9 @@ enum Phase {
         acks: Vec<ProcessId>,
     },
     /// Waiting out a backoff before retrying with a higher ballot.
-    BackedOff { next_round: u64 },
+    BackedOff {
+        next_round: u64,
+    },
     Done,
 }
 
@@ -123,8 +125,7 @@ impl Proposer {
     fn decide(&mut self, value: ConfigId) -> Step<ConMsg, ConfigId> {
         self.phase = Phase::Done;
         let msg = ConMsg::Decide { inst: self.cfg.inst, value };
-        Step::done(value)
-            .with_sends(self.cfg.servers.iter().map(|&s| (s, msg.clone())).collect())
+        Step::done(value).with_sends(self.cfg.servers.iter().map(|&s| (s, msg.clone())).collect())
     }
 
     /// Handles the backoff timer: retries with a higher ballot.
@@ -169,9 +170,7 @@ impl Proposer {
             {
                 self.preempted(promised)
             }
-            (Phase::Accepting { value, acks }, ConMsg::Accepted { rpc, .. })
-                if rpc == self.rpc =>
-            {
+            (Phase::Accepting { value, acks }, ConMsg::Accepted { rpc, .. }) if rpc == self.rpc => {
                 if !acks.contains(&from) {
                     acks.push(from);
                 }
@@ -211,7 +210,11 @@ mod tests {
     }
 
     /// Drives a proposer against in-memory acceptors, synchronously.
-    fn drive(p: &mut Proposer, acceptors: &mut [Acceptor], first: Step<ConMsg, ConfigId>) -> ConfigId {
+    fn drive(
+        p: &mut Proposer,
+        acceptors: &mut [Acceptor],
+        first: Step<ConMsg, ConfigId>,
+    ) -> ConfigId {
         let mut inbox: Vec<(ProcessId, ConMsg)> = first.sends;
         if let Some(v) = first.output {
             return v;

@@ -37,11 +37,7 @@ struct ProposerActor {
 }
 
 impl ProposerActor {
-    fn emit(
-        &mut self,
-        step: ares_types::Step<ConMsg, ConfigId>,
-        ctx: &mut Ctx<'_, PaxMsg>,
-    ) {
+    fn emit(&mut self, step: ares_types::Step<ConMsg, ConfigId>, ctx: &mut Ctx<'_, PaxMsg>) {
         for (to, m) in step.sends {
             ctx.send(to, PaxMsg(m));
         }
@@ -132,11 +128,7 @@ fn run_contention(n_acceptors: u32, n_proposers: u32, crashes: &[u32], seed: u64
         world.schedule_crash(0, ProcessId(c));
     }
     assert_eq!(world.run(), RunOutcome::Quiescent);
-    world
-        .completions()
-        .iter()
-        .map(|c| c.installed.expect("proposer decided"))
-        .collect()
+    world.completions().iter().map(|c| c.installed.expect("proposer decided")).collect()
 }
 
 #[test]

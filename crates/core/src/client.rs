@@ -238,10 +238,7 @@ impl ClientActor {
             }
             other => unreachable!("operation finished with non-terminal output {other:?}"),
         }
-        ctx.note(format!(
-            "{:?} {} completed (cseq now {})",
-            c.kind, c.op, self.cseq
-        ));
+        ctx.note(format!("{:?} {} completed (cseq now {})", c.kind, c.op, self.cseq));
         ctx.complete(c);
         self.start_next(ctx);
     }

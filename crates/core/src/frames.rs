@@ -125,9 +125,7 @@ impl ReadNextFrame {
     fn start(&mut self, env: &mut Env<'_>) -> FStep {
         self.rpc = env.fresh_rpc();
         let msg = CfgMsg::ReadConfig { base: self.base.id, rpc: self.rpc, op: env.op };
-        FStep::sends(
-            self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect(),
-        )
+        FStep::sends(self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect())
     }
 
     fn on_msg(&mut self, from: ProcessId, msg: &Msg) -> FStep {
@@ -184,9 +182,7 @@ impl PutConfigFrame {
             rpc: self.rpc,
             op: env.op,
         };
-        FStep::sends(
-            self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect(),
-        )
+        FStep::sends(self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect())
     }
 
     fn on_msg(&mut self, from: ProcessId, msg: &Msg) -> FStep {
@@ -385,9 +381,8 @@ impl TransferFrame {
             op: env.op,
         };
         // md-primitive: one atomic broadcast step (see DESIGN.md).
-        let mut step = FStep::sends(
-            src_cfg.servers.iter().map(|&s| (s, Msg::Xfer(msg.clone()))).collect(),
-        );
+        let mut step =
+            FStep::sends(src_cfg.servers.iter().map(|&s| (s, Msg::Xfer(msg.clone()))).collect());
         step.timer = Some(env.backoff_unit * 8);
         step
     }
@@ -402,9 +397,7 @@ impl TransferFrame {
         };
         // Replicated sources may forward a newer tag (see ServerActor);
         // any tag ≥ the requested one carries at least as recent a value.
-        if *dst != self.dst.id || *rpc != self.rpc || *tag < self.tag
-            || self.acks.contains(&from)
-        {
+        if *dst != self.dst.id || *rpc != self.rpc || *tag < self.tag || self.acks.contains(&from) {
             return FStep::idle();
         }
         self.acks.push(from);
@@ -443,14 +436,7 @@ pub(crate) struct WriteFrame {
 
 impl WriteFrame {
     pub(crate) fn new(value: Value, cseq: ConfigSeq) -> Self {
-        WriteFrame {
-            value,
-            phase: RwPhase::Discover,
-            seq: cseq,
-            i: 0,
-            tau_max: TAG0,
-            tag: TAG0,
-        }
+        WriteFrame { value, phase: RwPhase::Discover, seq: cseq, i: 0, tau_max: TAG0, tag: TAG0 }
     }
 
     fn start(&mut self, _env: &mut Env<'_>) -> FStep {
@@ -561,11 +547,7 @@ impl ReadFrame {
 
     fn put_last(&mut self, env: &mut Env<'_>) -> FStep {
         let cfg = env.cfg(self.seq.last().cfg);
-        FStep::push(Frame::Dap(DapFrame::new(
-            cfg,
-            env.obj,
-            DapAction::PutData(self.best.clone()),
-        )))
+        FStep::push(Frame::Dap(DapFrame::new(cfg, env.obj, DapAction::PutData(self.best.clone()))))
     }
 }
 
@@ -641,10 +623,7 @@ impl ReconFrame {
                 let prev = env.cfg(self.seq.last().cfg);
                 self.seq.push(ConfigEntry::pending(d));
                 self.phase = ReconPhase::AddPut;
-                FStep::push(Frame::PutConfig(PutConfigFrame::new(
-                    prev,
-                    ConfigEntry::pending(d),
-                )))
+                FStep::push(Frame::PutConfig(PutConfigFrame::new(prev, ConfigEntry::pending(d))))
             }
             (ReconPhase::AddPut, FrameOut::Ack) => {
                 // update-config, object by object.
@@ -690,9 +669,7 @@ impl ReconFrame {
                             } else {
                                 self.phase = ReconPhase::Transfer;
                                 let dst = env.cfg(self.seq.last().cfg);
-                                FStep::push(Frame::Transfer(TransferFrame::new(
-                                    tag, src, dst, obj,
-                                )))
+                                FStep::push(Frame::Transfer(TransferFrame::new(tag, src, dst, obj)))
                             }
                         }
                     }

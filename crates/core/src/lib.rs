@@ -69,9 +69,7 @@ pub use server::ServerActor;
 mod tests {
     use super::*;
     use ares_sim::{NetworkConfig, RunOutcome, World};
-    use ares_types::{
-        ConfigId, ConfigRegistry, Configuration, ObjectId, OpKind, ProcessId, Value,
-    };
+    use ares_types::{ConfigId, ConfigRegistry, Configuration, ObjectId, OpKind, ProcessId, Value};
     use std::sync::Arc;
 
     const ENV: ProcessId = ProcessId(0);
@@ -173,18 +171,15 @@ mod tests {
         let done = w.completions();
         assert_eq!(done.len(), 15, "6 writes + 6 reads + 3 recons");
         // The reconfigurer walked the whole chain.
-        let installed: Vec<_> =
-            done.iter().filter_map(|c| c.installed).collect();
+        let installed: Vec<_> = done.iter().filter_map(|c| c.installed).collect();
         assert_eq!(installed, vec![ConfigId(1), ConfigId(2), ConfigId(3)]);
     }
 
     #[test]
     fn concurrent_reconfigurers_agree_on_sequence() {
         let reg = registry();
-        let clients = [
-            (200, ClientConfig::new(ConfigId(0))),
-            (201, ClientConfig::new(ConfigId(0))),
-        ];
+        let clients =
+            [(200, ClientConfig::new(ConfigId(0))), (201, ClientConfig::new(ConfigId(0)))];
         let mut w = world_with(&reg, 10, &clients, 4);
         // Both propose different configurations at the same time:
         // consensus must order them into a single chain.
@@ -290,8 +285,7 @@ mod tests {
     fn deterministic_execution_given_seed() {
         let run = |seed: u64| {
             let reg = registry();
-            let mut w =
-                world_with(&reg, 10, &[(100, ClientConfig::new(ConfigId(0)))], seed);
+            let mut w = world_with(&reg, 10, &[(100, ClientConfig::new(ConfigId(0)))], seed);
             w.post(0, ENV, ProcessId(100), write(0, Value::filler(24, 5)));
             w.post(1, ENV, ProcessId(100), read(0));
             w.run();

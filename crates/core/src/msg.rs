@@ -207,11 +207,9 @@ impl SimMessage for Msg {
     fn label(&self) -> String {
         match self {
             Msg::Dap(m) => m.label(),
-            Msg::Con(m) => format!("CON.{m:?}")
-                .split([' ', '{'])
-                .next()
-                .unwrap_or("CON")
-                .to_string(),
+            Msg::Con(m) => {
+                format!("CON.{m:?}").split([' ', '{']).next().unwrap_or("CON").to_string()
+            }
             Msg::Cfg(CfgMsg::ReadConfig { base, .. }) => format!("READ-CONFIG[{base}]"),
             Msg::Cfg(CfgMsg::NextC { base, next, .. }) => match next {
                 Some(e) => format!("NEXT-C[{base}]={e}"),

@@ -77,9 +77,7 @@ impl RepairMsg {
     /// Payload bytes (coded elements in `Lists`).
     pub fn payload_bytes(&self) -> u64 {
         match self {
-            RepairMsg::Lists { list, .. } => {
-                list.iter().map(ListEntry::payload_bytes).sum()
-            }
+            RepairMsg::Lists { list, .. } => list.iter().map(ListEntry::payload_bytes).sum(),
             _ => 0,
         }
     }
@@ -148,12 +146,7 @@ impl RepairTask {
 
     /// Feeds a `Lists` reply; `me` is the repairing server (its own
     /// position defines the fragment to re-encode).
-    pub fn on_lists(
-        &mut self,
-        from: ProcessId,
-        msg: &RepairMsg,
-        me: ProcessId,
-    ) -> RepairProgress {
+    pub fn on_lists(&mut self, from: ProcessId, msg: &RepairMsg, me: ProcessId) -> RepairProgress {
         let RepairMsg::Lists { cfg, obj, rpc, list, .. } = msg else {
             return RepairProgress::Pending;
         };
@@ -180,10 +173,8 @@ impl RepairTask {
         }
         let params = self.cfg.code_params();
         let code = build_code(params).expect("valid configuration code");
-        let my_index = self
-            .cfg
-            .server_index(me)
-            .expect("repairer is a member of the configuration");
+        let my_index =
+            self.cfg.server_index(me).expect("repairer is a member of the configuration");
         let mut entries: Vec<(Tag, Option<Fragment>)> = Vec::new();
         for (tag, frags) in per_tag {
             if frags.len() >= params.k {
@@ -205,12 +196,7 @@ mod tests {
     use ares_types::{Value, TAG0};
 
     fn cfg() -> Arc<Configuration> {
-        Arc::new(Configuration::treas(
-            ConfigId(0),
-            (1..=5).map(ProcessId).collect(),
-            3,
-            2,
-        ))
+        Arc::new(Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2))
     }
 
     fn lists_for(value: &Value, tag: Tag, holders: &[u32]) -> Vec<(ProcessId, Vec<ListEntry>)> {
@@ -219,10 +205,7 @@ mod tests {
         holders
             .iter()
             .map(|&h| {
-                (
-                    ProcessId(h),
-                    vec![ListEntry { tag, frag: Some(frags[(h - 1) as usize].clone()) }],
-                )
+                (ProcessId(h), vec![ListEntry { tag, frag: Some(frags[(h - 1) as usize].clone()) }])
             })
             .collect()
     }

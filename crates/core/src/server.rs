@@ -75,11 +75,8 @@ impl ServerActor {
     /// Bytes of object payload stored (DAP lists/replicas plus pending
     /// transfer elements) — the per-server storage cost.
     pub fn storage_bytes(&self) -> u64 {
-        let pending: u64 = self
-            .dset
-            .values()
-            .map(|v| v.iter().map(|f| f.data.len() as u64).sum::<u64>())
-            .sum();
+        let pending: u64 =
+            self.dset.values().map(|v| v.iter().map(|f| f.data.len() as u64).sum::<u64>()).sum();
         self.dap.storage_bytes() + pending
     }
 
@@ -131,11 +128,7 @@ impl ServerActor {
                                 // with tag' > tag — it carries an at least
                                 // as recent value, so the destination
                                 // quorum still ends up ≥ the requested tag.
-                                match list
-                                    .iter()
-                                    .rev()
-                                    .find(|(t, f)| **t > tag && f.is_some())
-                                {
+                                match list.iter().rev().find(|(t, f)| **t > tag && f.is_some()) {
                                     Some((t, f)) => (*t, f.clone()),
                                     None => (tag, None),
                                 }
@@ -149,11 +142,7 @@ impl ServerActor {
                         let st = self.dap.abd_state(src, obj);
                         if st.tag >= tag {
                             let tag = st.tag;
-                            let idx = self
-                                .registry
-                                .get(src)
-                                .server_index(self.me)
-                                .unwrap_or(0);
+                            let idx = self.registry.get(src).server_index(self.me).unwrap_or(0);
                             (
                                 tag,
                                 Some(Fragment {
@@ -206,21 +195,14 @@ impl ServerActor {
                                 ares_types::Value::new(frag.data.clone()),
                             ),
                         );
-                        return vec![(
-                            rc,
-                            Msg::Xfer(XferMsg::XferAck { dst, obj, tag, rpc, op }),
-                        )];
+                        return vec![(rc, Msg::Xfer(XferMsg::XferAck { dst, obj, tag, rpc, op }))];
                     }
                     return Vec::new();
                 };
                 if self.recons.get(&(dst, obj)).is_some_and(|s| s.contains(&rc)) {
                     return Vec::new(); // rc already served
                 }
-                let in_list = self
-                    .dap
-                    .treas_state(dst, obj)
-                    .list
-                    .contains_key(&tag);
+                let in_list = self.dap.treas_state(dst, obj).list.contains_key(&tag);
                 if !in_list {
                     // D ← D ∪ {⟨t, e_i⟩}
                     let d = self.dset.entry((dst, obj, tag)).or_default();
@@ -231,23 +213,17 @@ impl ServerActor {
                     let src_params = self.registry.get(src).code_params();
                     let decodable = self.dset[&(dst, obj, tag)].len() >= src_params.k;
                     if decodable {
-                        let decoder =
-                            build_code(src_params).expect("valid source code");
-                        if let Ok(value) =
-                            decoder.decode(&self.dset[&(dst, obj, tag)])
-                        {
+                        let decoder = build_code(src_params).expect("valid source code");
+                        if let Ok(value) = decoder.decode(&self.dset[&(dst, obj, tag)]) {
                             // Re-encode with the destination code and
                             // store own element; D keeps the tag only.
                             self.dset.remove(&(dst, obj, tag));
-                            let enc = build_code(dst_cfg.code_params())
-                                .expect("valid destination code");
-                            let idx = dst_cfg
-                                .server_index(self.me)
-                                .expect("we are a member of dst");
+                            let enc =
+                                build_code(dst_cfg.code_params()).expect("valid destination code");
+                            let idx =
+                                dst_cfg.server_index(self.me).expect("we are a member of dst");
                             let my_elem = enc.encode_fragment(&value, idx);
-                            self.dap
-                                .treas_state(dst, obj)
-                                .insert_and_gc(tag, my_elem, delta);
+                            self.dap.treas_state(dst, obj).insert_and_gc(tag, my_elem, delta);
                         }
                     }
                 }
@@ -275,12 +251,8 @@ impl ServerActor {
                     return Vec::new(); // not a member: nothing to repair
                 }
                 self.repair_rpc += 1;
-                let (task, sends) = RepairTask::start(
-                    config,
-                    obj,
-                    self.me,
-                    ares_types::RpcId(self.repair_rpc),
-                );
+                let (task, sends) =
+                    RepairTask::start(config, obj, self.me, ares_types::RpcId(self.repair_rpc));
                 self.repairs.insert((cfg, obj), task);
                 sends
             }
@@ -294,13 +266,8 @@ impl ServerActor {
                 let Some(task) = self.repairs.get_mut(&key) else {
                     return Vec::new();
                 };
-                if let RepairProgress::Done { entries } = task.on_lists(from, &lists, self.me)
-                {
-                    let delta = self
-                        .registry
-                        .get(key.0)
-                        .delta()
-                        .unwrap_or(usize::MAX / 2);
+                if let RepairProgress::Done { entries } = task.on_lists(from, &lists, self.me) {
+                    let delta = self.registry.get(key.0).delta().unwrap_or(usize::MAX / 2);
                     let st = self.dap.treas_state(key.0, key.1);
                     for (tag, frag) in entries {
                         match frag {
@@ -319,10 +286,7 @@ impl ServerActor {
 }
 
 fn src_is_replicated(registry: &ConfigRegistry, src: ConfigId) -> bool {
-    matches!(
-        registry.try_get(src).map(|c| c.dap),
-        Some(DapKind::Abd) | Some(DapKind::Ldr { .. })
-    )
+    matches!(registry.try_get(src).map(|c| c.dap), Some(DapKind::Abd) | Some(DapKind::Ldr { .. }))
 }
 
 impl Actor<Msg> for ServerActor {
@@ -332,12 +296,9 @@ impl Actor<Msg> for ServerActor {
 
     fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         let replies = match msg {
-            Msg::Dap(m) => self
-                .dap
-                .handle(from, m)
-                .into_iter()
-                .map(|(to, m)| (to, Msg::Dap(m)))
-                .collect(),
+            Msg::Dap(m) => {
+                self.dap.handle(from, m).into_iter().map(|(to, m)| (to, Msg::Dap(m))).collect()
+            }
             Msg::Con(m) => {
                 let inst = m.instance();
                 self.acceptors

@@ -51,51 +51,18 @@ impl DapCtx {
 type DapStep = Step<DapMsg, DapOutput>;
 
 enum Inner {
-    AbdGetTag {
-        replies: Vec<ProcessId>,
-        max: Tag,
-    },
-    AbdGetData {
-        replies: Vec<ProcessId>,
-        best: TagValue,
-    },
-    AbdPut {
-        acks: Vec<ProcessId>,
-    },
-    TreasGetTag {
-        replies: Vec<ProcessId>,
-        max: Tag,
-    },
-    TreasGetData {
-        lists: HashMap<ProcessId, Vec<ListEntry>>,
-        timer_armed: bool,
-        retries: u32,
-    },
-    TreasPut {
-        acks: Vec<ProcessId>,
-    },
-    LdrGetTag {
-        replies: Vec<ProcessId>,
-        max: Tag,
-    },
-    LdrPutData {
-        tag: Tag,
-        acks: Vec<ProcessId>,
-    },
-    LdrPutMeta {
-        acks: Vec<ProcessId>,
-    },
-    LdrReadQuery {
-        replies: Vec<ProcessId>,
-        best: (Tag, Vec<ProcessId>),
-    },
-    LdrReadMeta {
-        best: (Tag, Vec<ProcessId>),
-        acks: Vec<ProcessId>,
-    },
-    LdrReadFetch {
-        tag: Tag,
-    },
+    AbdGetTag { replies: Vec<ProcessId>, max: Tag },
+    AbdGetData { replies: Vec<ProcessId>, best: TagValue },
+    AbdPut { acks: Vec<ProcessId> },
+    TreasGetTag { replies: Vec<ProcessId>, max: Tag },
+    TreasGetData { lists: HashMap<ProcessId, Vec<ListEntry>>, timer_armed: bool, retries: u32 },
+    TreasPut { acks: Vec<ProcessId> },
+    LdrGetTag { replies: Vec<ProcessId>, max: Tag },
+    LdrPutData { tag: Tag, acks: Vec<ProcessId> },
+    LdrPutMeta { acks: Vec<ProcessId> },
+    LdrReadQuery { replies: Vec<ProcessId>, best: (Tag, Vec<ProcessId>) },
+    LdrReadMeta { best: (Tag, Vec<ProcessId>), acks: Vec<ProcessId> },
+    LdrReadFetch { tag: Tag },
     Done,
 }
 
@@ -119,8 +86,7 @@ impl DapCall {
                 call.broadcast_all(DapBody::AbdQueryTag, rpc_counter)
             }
             (DapKind::Abd, DapAction::GetData) => {
-                call.inner =
-                    Inner::AbdGetData { replies: Vec::new(), best: TagValue::initial() };
+                call.inner = Inner::AbdGetData { replies: Vec::new(), best: TagValue::initial() };
                 call.broadcast_all(DapBody::AbdQuery, rpc_counter)
             }
             (DapKind::Abd, DapAction::PutData(tv)) => {
@@ -132,11 +98,8 @@ impl DapCall {
                 call.broadcast_all(DapBody::TreasQueryTag, rpc_counter)
             }
             (DapKind::Treas { .. }, DapAction::GetData) => {
-                call.inner = Inner::TreasGetData {
-                    lists: HashMap::new(),
-                    timer_armed: false,
-                    retries: 0,
-                };
+                call.inner =
+                    Inner::TreasGetData { lists: HashMap::new(), timer_armed: false, retries: 0 };
                 call.broadcast_all(DapBody::TreasQueryList, rpc_counter)
             }
             (DapKind::Treas { .. }, DapAction::PutData(tv)) => {
@@ -148,10 +111,7 @@ impl DapCall {
                 call.broadcast_all(DapBody::LdrQueryTagLoc, rpc_counter)
             }
             (DapKind::Ldr { .. }, DapAction::GetData) => {
-                call.inner = Inner::LdrReadQuery {
-                    replies: Vec::new(),
-                    best: (TAG0, Vec::new()),
-                };
+                call.inner = Inner::LdrReadQuery { replies: Vec::new(), best: (TAG0, Vec::new()) };
                 call.broadcast_all(DapBody::LdrQueryTagLoc, rpc_counter)
             }
             (DapKind::Ldr { .. }, DapAction::PutData(tv)) => {
@@ -184,12 +144,7 @@ impl DapCall {
         *rpc_counter += 1;
         self.rpc = RpcId(*rpc_counter);
         let hdr = self.hdr();
-        Step::sends(
-            targets
-                .into_iter()
-                .map(|s| (s, DapMsg::new(hdr, body.clone())))
-                .collect(),
-        )
+        Step::sends(targets.into_iter().map(|s| (s, DapMsg::new(hdr, body.clone()))).collect())
     }
 
     fn treas_put_broadcast(&mut self, tv: TagValue, rpc_counter: &mut u64) -> DapStep {
@@ -216,15 +171,8 @@ impl DapCall {
     }
 
     /// Feeds a reply. Messages from other phases/configs are ignored.
-    pub fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: &DapMsg,
-        rpc_counter: &mut u64,
-    ) -> DapStep {
-        if msg.hdr.rpc != self.rpc
-            || msg.hdr.cfg != self.ctx.cfg.id
-            || msg.hdr.obj != self.ctx.obj
+    pub fn on_message(&mut self, from: ProcessId, msg: &DapMsg, rpc_counter: &mut u64) -> DapStep {
+        if msg.hdr.rpc != self.rpc || msg.hdr.cfg != self.ctx.cfg.id || msg.hdr.obj != self.ctx.obj
         {
             return Step::idle();
         }
@@ -522,9 +470,7 @@ mod tests {
     }
 
     fn make_servers(reg: &Arc<ConfigRegistry>, n: u32) -> HashMap<ProcessId, DapServer> {
-        (1..=n)
-            .map(|i| (ProcessId(i), DapServer::new(ProcessId(i), reg.clone())))
-            .collect()
+        (1..=n).map(|i| (ProcessId(i), DapServer::new(ProcessId(i), reg.clone()))).collect()
     }
 
     #[test]

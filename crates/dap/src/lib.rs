@@ -244,7 +244,10 @@ mod tests {
     #[test]
     fn payload_accounting_counts_only_data() {
         let v = Value::new(vec![0u8; 100]);
-        assert_eq!(DapMsg::new(hdr(), DapBody::AbdWrite(Tag::ZERO, v.clone())).payload_bytes(), 100);
+        assert_eq!(
+            DapMsg::new(hdr(), DapBody::AbdWrite(Tag::ZERO, v.clone())).payload_bytes(),
+            100
+        );
         assert_eq!(DapMsg::new(hdr(), DapBody::AbdQueryTag).payload_bytes(), 0);
         assert_eq!(DapMsg::new(hdr(), DapBody::AbdTag(Tag::ZERO)).payload_bytes(), 0);
         let frag = Fragment { index: 0, value_len: 100, data: Bytes::from(vec![0u8; 25]) };

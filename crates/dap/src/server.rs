@@ -45,11 +45,10 @@ impl TreasState {
         // element is the empty fragment; `None` here would wrongly make
         // t_0 look garbage-collected, so store an empty fragment.
         let mut list = BTreeMap::new();
-        list.insert(TAG0, Some(ares_codes::Fragment {
-            index: 0,
-            value_len: 0,
-            data: bytes::Bytes::new(),
-        }));
+        list.insert(
+            TAG0,
+            Some(ares_codes::Fragment { index: 0, value_len: 0, data: bytes::Bytes::new() }),
+        );
         TreasState { list }
     }
 
@@ -64,12 +63,8 @@ impl TreasState {
         // Re-insertion must not resurrect a GC'd element or downgrade an
         // existing one: only insert if absent.
         self.list.entry(tag).or_insert(Some(frag));
-        let with_data: Vec<Tag> = self
-            .list
-            .iter()
-            .filter(|(_, f)| f.is_some())
-            .map(|(t, _)| *t)
-            .collect();
+        let with_data: Vec<Tag> =
+            self.list.iter().filter(|(_, f)| f.is_some()).map(|(t, _)| *t).collect();
         if with_data.len() > delta + 1 {
             let excess = with_data.len() - (delta + 1);
             for t in with_data.into_iter().take(excess) {
@@ -81,19 +76,13 @@ impl TreasState {
 
     /// The wire form of the list.
     pub fn to_entries(&self) -> Vec<ListEntry> {
-        self.list
-            .iter()
-            .map(|(&tag, frag)| ListEntry { tag, frag: frag.clone() })
-            .collect()
+        self.list.iter().map(|(&tag, frag)| ListEntry { tag, frag: frag.clone() }).collect()
     }
 
     /// Bytes of coded payload currently stored (the storage cost of
     /// Theorem 3(i), in bytes).
     pub fn storage_bytes(&self) -> u64 {
-        self.list
-            .values()
-            .map(|f| f.as_ref().map_or(0, |f| f.data.len() as u64))
-            .sum()
+        self.list.values().map(|f| f.as_ref().map_or(0, |f| f.data.len() as u64)).sum()
     }
 }
 
@@ -422,10 +411,7 @@ mod tests {
         let r = s.handle(ProcessId(9), DapMsg::new(hdr(2), DapBody::LdrPutData(t, v.clone())));
         assert_eq!(r[0].1.body, DapBody::LdrPutDataAck(t));
         // directory meta
-        s.handle(
-            ProcessId(9),
-            DapMsg::new(hdr(2), DapBody::LdrPutMeta(t, vec![ProcessId(1)])),
-        );
+        s.handle(ProcessId(9), DapMsg::new(hdr(2), DapBody::LdrPutMeta(t, vec![ProcessId(1)])));
         let r = s.handle(ProcessId(9), DapMsg::new(hdr(2), DapBody::LdrQueryTagLoc));
         assert_eq!(r[0].1.body, DapBody::LdrTagLoc(t, vec![ProcessId(1)]));
         // fetch by tag
@@ -465,7 +451,10 @@ mod tests {
         let mut s = DapServer::new(ProcessId(1), registry());
         s.handle(
             ProcessId(9),
-            DapMsg::new(hdr(0), DapBody::AbdWrite(Tag::new(1, ProcessId(9)), Value::new(vec![0; 30]))),
+            DapMsg::new(
+                hdr(0),
+                DapBody::AbdWrite(Tag::new(1, ProcessId(9)), Value::new(vec![0; 30])),
+            ),
         );
         s.handle(
             ProcessId(9),

@@ -19,8 +19,8 @@ use crate::server::DapServer;
 use crate::{DapAction, DapMsg, DapOutput};
 use ares_sim::{Actor, Ctx, SimMessage};
 use ares_types::{
-    Configuration, DapKind, ObjectId, OpCompletion, OpId, OpKind, ProcessId, Step, TagValue,
-    Time, Value,
+    Configuration, DapKind, ObjectId, OpCompletion, OpId, OpKind, ProcessId, Step, TagValue, Time,
+    Value,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -111,11 +111,8 @@ impl RegisterCall {
                 let t = out.tag();
                 let tw = t.increment(self.me); // t_w = inc(t) = (t.z + 1, w)
                 let ctx = DapCtx::new(self.cfg.clone(), self.obj, self.me, self.op);
-                let (call, step) = DapCall::start(
-                    ctx,
-                    DapAction::PutData(TagValue::new(tw, value)),
-                    rpc_counter,
-                );
+                let (call, step) =
+                    DapCall::start(ctx, DapAction::PutData(TagValue::new(tw, value)), rpc_counter);
                 self.call = call;
                 self.phase = RegPhase::WritePut { tag: tw };
                 step.map(|_| unreachable!())
@@ -127,11 +124,8 @@ impl RegisterCall {
                     TemplateKind::A2 => Step::done(RegisterOutput::ReadValue(tv)),
                     TemplateKind::A1 => {
                         let ctx = DapCtx::new(self.cfg.clone(), self.obj, self.me, self.op);
-                        let (call, step) = DapCall::start(
-                            ctx,
-                            DapAction::PutData(tv.clone()),
-                            rpc_counter,
-                        );
+                        let (call, step) =
+                            DapCall::start(ctx, DapAction::PutData(tv.clone()), rpc_counter);
                         self.call = call;
                         self.phase = RegPhase::ReadPut { tv };
                         step.map(|_| unreachable!())
@@ -144,12 +138,7 @@ impl RegisterCall {
     }
 
     /// Feeds a DAP reply.
-    pub fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: &DapMsg,
-        rpc_counter: &mut u64,
-    ) -> RegStep {
+    pub fn on_message(&mut self, from: ProcessId, msg: &DapMsg, rpc_counter: &mut u64) -> RegStep {
         let step = self.call.on_message(from, msg, rpc_counter);
         let timer = step.timer_after;
         let mut out = match step.output {
@@ -299,8 +288,7 @@ impl StaticClientActor {
             op_cmd,
             &mut self.rpc_counter,
         );
-        self.current =
-            Some(Running { call, op, op_kind, invoked_at: ctx.now(), digest });
+        self.current = Some(Running { call, op, op_kind, invoked_at: ctx.now(), digest });
         self.emit(step, ctx);
     }
 
@@ -378,10 +366,7 @@ mod tests {
             );
         }
         for c in 0..n_clients {
-            world.add_actor(
-                ProcessId(100 + c),
-                StaticClientActor::new(cfg.clone(), ObjectId(0)),
-            );
+            world.add_actor(ProcessId(100 + c), StaticClientActor::new(cfg.clone(), ObjectId(0)));
         }
         (world, cfg)
     }

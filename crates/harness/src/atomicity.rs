@@ -99,10 +99,9 @@ impl fmt::Display for Violation {
                 f,
                 "{op} returned {tag} although {earlier} (tag {earlier_tag}) completed first"
             ),
-            Violation::NonMonotonicWrite { op, tag, earlier, earlier_tag } => write!(
-                f,
-                "write {op} got {tag}, not above {earlier_tag} of preceding {earlier}"
-            ),
+            Violation::NonMonotonicWrite { op, tag, earlier, earlier_tag } => {
+                write!(f, "write {op} got {tag}, not above {earlier_tag} of preceding {earlier}")
+            }
             Violation::Malformed { op } => write!(f, "malformed completion for {op}"),
         }
     }
@@ -130,10 +129,7 @@ impl AtomicityReport {
     /// Panics if the history is not atomic.
     pub fn assert_atomic(&self) {
         if let Some(v) = self.violations.first() {
-            panic!(
-                "history is NOT atomic ({} violations); first: {v}",
-                self.violations.len()
-            );
+            panic!("history is NOT atomic ({} violations); first: {v}", self.violations.len());
         }
     }
 }
@@ -165,11 +161,7 @@ fn check_object(ops: &[&OpCompletion], report: &mut AtomicityReport) {
             continue;
         };
         if let Some(prev) = writes.insert(tag, c) {
-            report.violations.push(Violation::DuplicateWriteTag {
-                a: prev.op,
-                b: c.op,
-                tag,
-            });
+            report.violations.push(Violation::DuplicateWriteTag { a: prev.op, b: c.op, tag });
         }
     }
 
@@ -260,24 +252,14 @@ mod tests {
     use ares_types::ProcessId;
 
     fn w(seq: u64, t: (u64, u32), iv: u64, cp: u64, digest: u64) -> OpCompletion {
-        let mut c = OpCompletion::new(
-            OpId { client: ProcessId(1), seq },
-            OpKind::Write,
-            iv,
-            cp,
-        );
+        let mut c = OpCompletion::new(OpId { client: ProcessId(1), seq }, OpKind::Write, iv, cp);
         c.tag = Some(Tag::new(t.0, ProcessId(t.1)));
         c.value_digest = Some(digest);
         c
     }
 
     fn r(seq: u64, t: (u64, u32), iv: u64, cp: u64, digest: u64) -> OpCompletion {
-        let mut c = OpCompletion::new(
-            OpId { client: ProcessId(2), seq },
-            OpKind::Read,
-            iv,
-            cp,
-        );
+        let mut c = OpCompletion::new(OpId { client: ProcessId(2), seq }, OpKind::Read, iv, cp);
         c.tag = Some(Tag::new(t.0, ProcessId(t.1)));
         c.value_digest = Some(digest);
         c
@@ -344,10 +326,7 @@ mod tests {
         ];
         let rep = check_atomicity(&h);
         assert!(!rep.is_atomic());
-        assert!(rep
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::NonMonotonicWrite { .. })));
+        assert!(rep.violations.iter().any(|v| matches!(v, Violation::NonMonotonicWrite { .. })));
     }
 
     #[test]

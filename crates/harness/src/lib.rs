@@ -21,31 +21,29 @@ pub mod workload;
 
 pub use atomicity::{check_atomicity, AtomicityReport, Violation};
 pub use linearize::{check_linearizable, LinResult};
-pub use scenario::{standard_registry, standard_universe, Invocation, Scenario, ScenarioResult, ENV};
+pub use scenario::{
+    standard_registry, standard_universe, Invocation, Scenario, ScenarioResult, ENV,
+};
 pub use workload::WorkloadSpec;
 
-/// Runs `f` over `seeds` in parallel (one crossbeam scope thread per
-/// seed, chunked to the available parallelism) and collects the results
+/// Runs `f` over `seeds` in parallel (one scoped thread per chunk of
+/// seeds, chunked to the available parallelism) and collects the results
 /// in seed order. Used by experiment sweeps.
 pub fn par_seeds<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let mut out: Vec<Option<T>> = Vec::with_capacity(seeds.len());
     out.resize_with(seeds.len(), || None);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = seeds.len().div_ceil(threads.max(1));
-    crossbeam::scope(|s| {
-        for (slice_idx, (seed_chunk, out_chunk)) in
-            seeds.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
+    let chunk = seeds.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|s| {
+        for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            let _ = slice_idx;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (seed, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(f(*seed));
                 }
             });
         }
-    })
-    .expect("scoped threads do not panic");
+    });
     out.into_iter().map(|o| o.expect("filled")).collect()
 }
 

@@ -96,9 +96,8 @@ fn object_linearizable(ops: &[SOp]) -> bool {
             let op = &ops[i];
             // Minimality: `op` may be linearized next only if no *other*
             // pending operation completed before `op` was invoked.
-            let blocked = (0..n).any(|j| {
-                j != i && done & (1 << j) == 0 && ops[j].completed < op.invoked
-            });
+            let blocked =
+                (0..n).any(|j| j != i && done & (1 << j) == 0 && ops[j].completed < op.invoked);
             if blocked {
                 continue;
             }
@@ -125,8 +124,7 @@ mod tests {
     use ares_types::{OpId, ProcessId, Tag};
 
     fn op(seq: u64, kind: OpKind, iv: u64, cp: u64, digest: u64) -> OpCompletion {
-        let mut c =
-            OpCompletion::new(OpId { client: ProcessId(1), seq }, kind, iv, cp);
+        let mut c = OpCompletion::new(OpId { client: ProcessId(1), seq }, kind, iv, cp);
         c.value_digest = Some(digest);
         c.tag = Some(Tag::new(seq + 1, ProcessId(1))); // tags ignored here
         c
@@ -134,10 +132,7 @@ mod tests {
 
     #[test]
     fn sequential_history_linearizable() {
-        let h = vec![
-            op(0, OpKind::Write, 0, 10, 111),
-            op(1, OpKind::Read, 20, 30, 111),
-        ];
+        let h = vec![op(0, OpKind::Write, 0, 10, 111), op(1, OpKind::Read, 20, 30, 111)];
         assert_eq!(check_linearizable(&h), LinResult::Linearizable);
     }
 
@@ -152,10 +147,7 @@ mod tests {
         let init = Value::initial().digest();
         // Write [0, 100]; read [50, 60] overlapping it.
         for returned in [111u64, init] {
-            let h = vec![
-                op(0, OpKind::Write, 0, 100, 111),
-                op(1, OpKind::Read, 50, 60, returned),
-            ];
+            let h = vec![op(0, OpKind::Write, 0, 100, 111), op(1, OpKind::Read, 50, 60, returned)];
             assert_eq!(check_linearizable(&h), LinResult::Linearizable, "{returned}");
         }
     }
@@ -184,10 +176,7 @@ mod tests {
 
     #[test]
     fn phantom_read_rejected() {
-        let h = vec![
-            op(0, OpKind::Write, 0, 10, 111),
-            op(1, OpKind::Read, 20, 30, 999),
-        ];
+        let h = vec![op(0, OpKind::Write, 0, 10, 111), op(1, OpKind::Read, 20, 30, 999)];
         assert_eq!(check_linearizable(&h), LinResult::NotLinearizable);
     }
 
@@ -217,10 +206,7 @@ mod tests {
         let h: Vec<OpCompletion> = (0..MAX_EXHAUSTIVE as u64 + 1)
             .map(|i| op(i, OpKind::Write, i * 10, i * 10 + 5, i))
             .collect();
-        assert_eq!(
-            check_linearizable(&h),
-            LinResult::TooLarge { ops: MAX_EXHAUSTIVE + 1 }
-        );
+        assert_eq!(check_linearizable(&h), LinResult::TooLarge { ops: MAX_EXHAUSTIVE + 1 });
     }
 
     #[test]

@@ -273,9 +273,7 @@ impl Scenario {
         let completions = world.take_completions();
         let storage: Vec<(ProcessId, u64)> = servers
             .iter()
-            .filter_map(|&s| {
-                world.actor_as::<ServerActor>(s).map(|a| (s, a.storage_bytes()))
-            })
+            .filter_map(|&s| world.actor_as::<ServerActor>(s).map(|a| (s, a.storage_bytes())))
             .collect();
         ScenarioResult {
             outcome,
@@ -285,9 +283,7 @@ impl Scenario {
             payload_bytes: world.metrics().payload_bytes,
             storage_bytes: storage,
             trace: world.trace().to_vec(),
-            scheduled_ops: self
-                .invocations
-                .len(),
+            scheduled_ops: self.invocations.len(),
         }
     }
 }

@@ -79,9 +79,6 @@ pub trait SimMessage: Clone + std::fmt::Debug + 'static {
     /// Short label for traces (defaults to the `Debug` variant name).
     fn label(&self) -> String {
         let dbg = format!("{self:?}");
-        dbg.split([' ', '(', '{'])
-            .next()
-            .unwrap_or("msg")
-            .to_string()
+        dbg.split([' ', '(', '{']).next().unwrap_or("msg").to_string()
     }
 }

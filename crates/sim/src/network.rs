@@ -79,9 +79,7 @@ impl NetworkConfig {
 
     /// Bounds applying to a message of operation-owner `op_client`.
     pub fn bounds_for(&self, op_client: Option<ProcessId>) -> DelayBounds {
-        op_client
-            .and_then(|c| self.per_client.get(&c).copied())
-            .unwrap_or(self.default)
+        op_client.and_then(|c| self.per_client.get(&c).copied()).unwrap_or(self.default)
     }
 }
 
@@ -116,8 +114,7 @@ mod tests {
     #[test]
     fn per_client_override() {
         let fast = DelayBounds::new(1, 2);
-        let cfg = NetworkConfig::uniform(10, 20)
-            .with_client_bounds(ProcessId(9), fast);
+        let cfg = NetworkConfig::uniform(10, 20).with_client_bounds(ProcessId(9), fast);
         assert_eq!(cfg.bounds_for(Some(ProcessId(9))), fast);
         assert_eq!(cfg.bounds_for(Some(ProcessId(1))), DelayBounds::new(10, 20));
         assert_eq!(cfg.bounds_for(None), DelayBounds::new(10, 20));

@@ -76,11 +76,7 @@ impl<M: SimMessage> Ctx<'_, M> {
     }
 
     /// Broadcasts `msg` to every process in `targets`.
-    pub fn broadcast<'t>(
-        &mut self,
-        targets: impl IntoIterator<Item = &'t ProcessId>,
-        msg: &M,
-    ) {
+    pub fn broadcast<'t>(&mut self, targets: impl IntoIterator<Item = &'t ProcessId>, msg: &M) {
         for &t in targets {
             self.send(t, msg.clone());
         }
@@ -257,11 +253,7 @@ impl<M: SimMessage> World<M> {
     /// how the harness invokes client operations.
     pub fn post(&mut self, at: Time, from: ProcessId, to: ProcessId, msg: M) {
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
-            at,
-            seq,
-            kind: EventKind::Deliver { from, to, msg },
-        }));
+        self.queue.push(Reverse(Event { at, seq, kind: EventKind::Deliver { from, to, msg } }));
     }
 
     /// Schedules a crash of `pid` at time `at`.
@@ -372,8 +364,7 @@ impl<M: SimMessage> World<M> {
             return;
         };
         let tracing = self.trace.is_some();
-        let mut ctx =
-            Ctx { pid, now: self.now, tracing, rng: &mut self.rng, effects: Vec::new() };
+        let mut ctx = Ctx { pid, now: self.now, tracing, rng: &mut self.rng, effects: Vec::new() };
         f(&mut actor, &mut ctx);
         let effects = ctx.effects;
         self.actors.insert(pid, actor);
@@ -409,8 +400,11 @@ impl<M: SimMessage> World<M> {
                 Effect::SetTimer { delay, token } => {
                     let at = self.now + delay;
                     let seq = self.next_seq();
-                    self.queue
-                        .push(Reverse(Event { at, seq, kind: EventKind::Timer { pid, token } }));
+                    self.queue.push(Reverse(Event {
+                        at,
+                        seq,
+                        kind: EventKind::Timer { pid, token },
+                    }));
                 }
                 Effect::Complete(mut c) => {
                     let m = self.metrics.op(c.op);

@@ -251,9 +251,7 @@ impl ConfigRegistry {
     /// Panics if `id` is unknown — protocol code only ever dereferences
     /// ids it has received from the registry-backed universe.
     pub fn get(&self, id: ConfigId) -> &Arc<Configuration> {
-        self.configs
-            .get(&id)
-            .unwrap_or_else(|| panic!("unknown configuration id {id}"))
+        self.configs.get(&id).unwrap_or_else(|| panic!("unknown configuration id {id}"))
     }
 
     /// Looks up a configuration, returning `None` when unknown.
@@ -367,10 +365,7 @@ impl ConfigSeq {
         }
         assert!(i < self.entries.len(), "absorb would leave a gap at {i}");
         let e = &mut self.entries[i];
-        assert_eq!(
-            e.cfg, entry.cfg,
-            "configuration uniqueness violated at index {i}"
-        );
+        assert_eq!(e.cfg, entry.cfg, "configuration uniqueness violated at index {i}");
         if entry.status == Status::Finalized {
             e.status = Status::Finalized;
         }
@@ -385,11 +380,7 @@ impl ConfigSeq {
     /// `x[j].cfg = y[j].cfg` for every index `j` present in `x`.
     pub fn is_prefix_of(&self, other: &ConfigSeq) -> bool {
         self.entries.len() <= other.entries.len()
-            && self
-                .entries
-                .iter()
-                .zip(&other.entries)
-                .all(|(a, b)| a.cfg == b.cfg)
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| a.cfg == b.cfg)
     }
 }
 

@@ -76,9 +76,8 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let s: Step<&str, u32> = Step::done(7)
-            .with_sends(vec![(ProcessId(1), "hello")])
-            .with_timer(10);
+        let s: Step<&str, u32> =
+            Step::done(7).with_sends(vec![(ProcessId(1), "hello")]).with_timer(10);
         assert_eq!(s.output, Some(7));
         assert_eq!(s.sends.len(), 1);
         assert_eq!(s.timer_after, Some(10));

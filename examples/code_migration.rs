@@ -8,7 +8,7 @@
 //! cargo run -p ares-harness --example code_migration
 //! ```
 
-use ares_harness::{Scenario, standard_universe};
+use ares_harness::{standard_universe, Scenario};
 use ares_sim::TraceKind;
 use ares_types::{OpKind, ProcessId, Value};
 
@@ -18,10 +18,7 @@ fn run(direct: bool) -> (u64, u64) {
     // Universe (from the shared harness): c0 = ABD on 1..3,
     // c1 = TREAS[5,3] on 4..8, c4 = TREAS[7,5] on 2..8.
     let rc = ProcessId(200);
-    let mut s = Scenario::new(standard_universe())
-        .clients([100, 110, 200])
-        .seed(99)
-        .with_trace();
+    let mut s = Scenario::new(standard_universe()).clients([100, 110, 200]).seed(99).with_trace();
     if direct {
         s = s.direct_transfer();
     }

@@ -12,7 +12,7 @@
 //! cargo run -p ares-harness --example kv_store
 //! ```
 
-use ares_harness::{Scenario, check_atomicity};
+use ares_harness::{check_atomicity, Scenario};
 use ares_types::{ConfigId, Configuration, ObjectId, OpKind, ProcessId, Value};
 use std::collections::HashMap;
 

@@ -59,10 +59,7 @@ fn main() {
     }
     let read_after = history.last().unwrap();
     assert_eq!(read_after.value_digest, Some(value.digest()));
-    println!(
-        "\nvalue survived the migration; history of {} ops verified atomic ✓",
-        history.len()
-    );
+    println!("\nvalue survived the migration; history of {} ops verified atomic ✓", history.len());
     println!(
         "simulated time: {} units, {} messages, {} payload bytes",
         result.finished_at, result.messages_sent, result.payload_bytes

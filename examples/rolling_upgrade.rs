@@ -11,20 +11,13 @@
 //! cargo run -p ares-harness --example rolling_upgrade
 //! ```
 
-use ares_harness::{Scenario, check_atomicity};
+use ares_harness::{check_atomicity, Scenario};
 use ares_types::{ConfigId, Configuration, OpKind, ProcessId, Value};
 
 fn main() {
     // Configuration i uses servers (i+1)..=(i+5), with a [5,3] code.
     let configs: Vec<Configuration> = (0..=5)
-        .map(|i| {
-            Configuration::treas(
-                ConfigId(i),
-                (i + 1..=i + 5).map(ProcessId).collect(),
-                3,
-                2,
-            )
-        })
+        .map(|i| Configuration::treas(ConfigId(i), (i + 1..=i + 5).map(ProcessId).collect(), 3, 2))
         .collect();
 
     let mut scenario = Scenario::new(configs).clients([100, 101, 110, 200]).seed(7);
@@ -60,12 +53,9 @@ fn main() {
             last_recon = c.completed_at;
         }
     }
-    let reads: Vec<_> =
-        result.completions.iter().filter(|c| c.kind == OpKind::Read).collect();
-    let avg_read: u64 =
-        reads.iter().map(|c| c.latency()).sum::<u64>() / reads.len() as u64;
-    let reads_after: usize =
-        reads.iter().filter(|c| c.invoked_at > last_recon).count();
+    let reads: Vec<_> = result.completions.iter().filter(|c| c.kind == OpKind::Read).collect();
+    let avg_read: u64 = reads.iter().map(|c| c.latency()).sum::<u64>() / reads.len() as u64;
+    let reads_after: usize = reads.iter().filter(|c| c.invoked_at > last_recon).count();
     println!(
         "\n{} writes, {} reads (avg read latency {} units), {} reads after the last upgrade",
         result.completions.iter().filter(|c| c.kind == OpKind::Write).count(),

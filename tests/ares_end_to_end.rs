@@ -2,7 +2,7 @@
 //! clients, servers, consensus, DAPs, reconfiguration — checked for
 //! completeness and atomicity.
 
-use ares_harness::{Scenario, standard_universe};
+use ares_harness::{standard_universe, Scenario};
 use ares_types::{OpKind, Value};
 
 #[test]
@@ -35,20 +35,15 @@ fn migration_chain_over_all_dap_kinds() {
     // The final read must see the last write.
     let last_write_tag =
         h.iter().filter(|c| c.kind == OpKind::Write).map(|c| c.tag.unwrap()).max().unwrap();
-    let final_read = h
-        .iter()
-        .filter(|c| c.kind == OpKind::Read)
-        .max_by_key(|c| c.invoked_at)
-        .unwrap();
+    let final_read =
+        h.iter().filter(|c| c.kind == OpKind::Read).max_by_key(|c| c.invoked_at).unwrap();
     assert_eq!(final_read.tag, Some(last_write_tag));
 }
 
 #[test]
 fn migration_chain_with_direct_transfer() {
-    let mut s = Scenario::new(standard_universe())
-        .clients([100, 110, 200])
-        .direct_transfer()
-        .seed(3);
+    let mut s =
+        Scenario::new(standard_universe()).clients([100, 110, 200]).direct_transfer().seed(3);
     s = s.write_at(0, 100, 0, Value::filler(200, 5));
     s = s.recon_at(1_500, 200, 1);
     s = s.recon_at(5_000, 200, 2);
@@ -103,11 +98,7 @@ fn storage_moves_to_new_configuration() {
         res.storage_bytes.iter().map(|(p, b)| (p.0, *b)).collect();
     // Each TREAS server stores fragments of ceil(300/3) = 100 bytes.
     for s in 4..=8u32 {
-        assert!(
-            stored[&s] >= 100,
-            "server {s} should hold coded data, has {}",
-            stored[&s]
-        );
+        assert!(stored[&s] >= 100, "server {s} should hold coded data, has {}", stored[&s]);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Randomized soak tests: many seeds, concurrent readers/writers (and
 //! optionally reconfigurers), every history checked for atomicity.
 
-use ares_harness::{par_seeds, Scenario, WorkloadSpec, standard_universe};
+use ares_harness::{par_seeds, standard_universe, Scenario, WorkloadSpec};
 
 fn run_seed(seed: u64, with_recon: bool) -> (usize, bool) {
     let spec = WorkloadSpec {

@@ -10,7 +10,7 @@
 //! randomly *generated* abstract histories the two verdicts must agree
 //! (tag-checker atomic ⇒ exhaustively linearizable).
 
-use ares_harness::{check_atomicity, check_linearizable, LinResult, Scenario, standard_universe};
+use ares_harness::{check_atomicity, check_linearizable, standard_universe, LinResult, Scenario};
 use ares_types::{OpCompletion, OpKind, Value};
 use proptest::prelude::*;
 
@@ -51,10 +51,8 @@ fn mutated_read_value_rejected_by_both() {
         // Corrupt the digest of the last read that returned a written
         // value (skip initial-value reads: corrupting those produces a
         // phantom too, but let's hit the common case).
-        let Some(read) = h
-            .iter_mut()
-            .rev()
-            .find(|c| c.kind == OpKind::Read && c.tag.is_some_and(|t| t.z > 0))
+        let Some(read) =
+            h.iter_mut().rev().find(|c| c.kind == OpKind::Read && c.tag.is_some_and(|t| t.z > 0))
         else {
             continue;
         };
@@ -86,10 +84,8 @@ fn swapped_read_tag_detected_by_tag_checker() {
         let mut mutated = h.clone();
         // Make the chronologically last read claim the *first* write
         // although the last write completed before that read started.
-        if let Some(read) = mutated
-            .iter_mut()
-            .filter(|c| c.kind == OpKind::Read)
-            .max_by_key(|c| c.invoked_at)
+        if let Some(read) =
+            mutated.iter_mut().filter(|c| c.kind == OpKind::Read).max_by_key(|c| c.invoked_at)
         {
             if read.invoked_at > last.completed_at {
                 read.tag = first.tag;
@@ -113,11 +109,8 @@ fn swapped_read_tag_detected_by_tag_checker() {
 fn valid_history(windows: Vec<(u64, u64, bool)>) -> Vec<OpCompletion> {
     use ares_types::{OpId, ProcessId, Tag};
     // Serialization point = midpoint of the window; apply in that order.
-    let mut order: Vec<(usize, u64)> = windows
-        .iter()
-        .enumerate()
-        .map(|(i, (iv, cp, _))| (i, (iv + cp) / 2))
-        .collect();
+    let mut order: Vec<(usize, u64)> =
+        windows.iter().enumerate().map(|(i, (iv, cp, _))| (i, (iv + cp) / 2)).collect();
     order.sort_by_key(|&(_, p)| p);
     let mut state_tag = Tag::ZERO;
     let mut state_digest = Value::initial().digest();

@@ -23,7 +23,11 @@ use std::sync::Arc;
 
 const ENV: ProcessId = ProcessId(0);
 
-fn run_register_workload(cfg: Configuration, seed: u64, n_ops: u64) -> Vec<ares_types::OpCompletion> {
+fn run_register_workload(
+    cfg: Configuration,
+    seed: u64,
+    n_ops: u64,
+) -> Vec<ares_types::OpCompletion> {
     let id = cfg.id;
     let servers = cfg.servers.clone();
     let reg = ConfigRegistry::from_configs([cfg]);
@@ -141,13 +145,17 @@ fn c2_no_phantom_values_under_failed_writes() {
     let v2 = Value::filler(64, 2);
     world.post(0, ENV, ProcessId(100), StaticMsg::Invoke(RegisterOp::Write(v1.clone())));
     world.run();
-    world.post(world.now() + 1, ENV, ProcessId(100), StaticMsg::Invoke(RegisterOp::Write(v2.clone())));
+    world.post(
+        world.now() + 1,
+        ENV,
+        ProcessId(100),
+        StaticMsg::Invoke(RegisterOp::Write(v2.clone())),
+    );
     world.schedule_crash(world.now() + 30, ProcessId(100)); // mid-write crash
     let t = world.now() + 2_000;
     world.post(t, ENV, ProcessId(101), StaticMsg::Invoke(RegisterOp::Read));
     world.run();
-    let reads: Vec<_> =
-        world.completions().iter().filter(|c| c.kind == OpKind::Read).collect();
+    let reads: Vec<_> = world.completions().iter().filter(|c| c.kind == OpKind::Read).collect();
     assert_eq!(reads.len(), 1);
     let d = reads[0].value_digest.unwrap();
     assert!(

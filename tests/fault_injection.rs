@@ -1,7 +1,7 @@
 //! Crash-fault injection: servers failing within the tolerated bounds,
 //! reconfigurers dying mid-operation, and liveness at the fault boundary.
 
-use ares_harness::{Scenario, standard_universe};
+use ares_harness::{standard_universe, Scenario};
 use ares_sim::RunOutcome;
 use ares_types::{ConfigId, Configuration, ProcessId, Value};
 
@@ -21,12 +21,7 @@ fn abd_survives_minority_crash() {
 #[test]
 fn treas_survives_f_crashes() {
     // TREAS [5,3]: f = (n-k)/2 = 1.
-    let cfgs = vec![Configuration::treas(
-        ConfigId(0),
-        (1..=5).map(ProcessId).collect(),
-        3,
-        2,
-    )];
+    let cfgs = vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)];
     let res = Scenario::new(cfgs)
         .clients([100])
         .seed(2)
@@ -42,12 +37,7 @@ fn treas_blocks_beyond_f_crashes() {
     // Crashing 2 of 5 under [5,3] leaves only 3 < ⌈(5+3)/2⌉ = 4 alive:
     // operations must NOT complete (they wait forever) — and must not
     // return wrong data either.
-    let cfgs = vec![Configuration::treas(
-        ConfigId(0),
-        (1..=5).map(ProcessId).collect(),
-        3,
-        2,
-    )];
+    let cfgs = vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)];
     let res = Scenario::new(cfgs)
         .clients([100])
         .seed(3)
@@ -82,11 +72,8 @@ fn reconfiguration_away_from_crashing_servers_restores_liveness_for_new_ops() {
     let h = res.assert_complete_and_atomic();
     assert_eq!(h.len(), 5);
     let read = h.last().unwrap();
-    let max_w = h
-        .iter()
-        .filter(|c| c.kind == ares_types::OpKind::Write)
-        .max_by_key(|c| c.tag)
-        .unwrap();
+    let max_w =
+        h.iter().filter(|c| c.kind == ares_types::OpKind::Write).max_by_key(|c| c.tag).unwrap();
     assert_eq!(read.tag, max_w.tag);
 }
 
@@ -123,19 +110,13 @@ fn reconfigurer_crash_mid_recon_leaves_system_usable() {
     assert_eq!(res.outcome, RunOutcome::Quiescent);
     // recon may or may not have completed before the crash; reads and
     // writes must have.
-    let rw: Vec<_> = res
-        .completions
-        .iter()
-        .filter(|c| c.kind != ares_types::OpKind::Recon)
-        .collect();
+    let rw: Vec<_> =
+        res.completions.iter().filter(|c| c.kind != ares_types::OpKind::Recon).collect();
     assert_eq!(rw.len(), 3, "both writes and the read completed");
     ares_harness::check_atomicity(&res.completions).assert_atomic();
     let read = rw.iter().find(|c| c.kind == ares_types::OpKind::Read).unwrap();
-    let w2 = rw
-        .iter()
-        .filter(|c| c.kind == ares_types::OpKind::Write)
-        .max_by_key(|c| c.tag)
-        .unwrap();
+    let w2 =
+        rw.iter().filter(|c| c.kind == ares_types::OpKind::Write).max_by_key(|c| c.tag).unwrap();
     assert_eq!(read.tag, w2.tag);
 }
 

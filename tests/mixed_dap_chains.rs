@@ -3,7 +3,7 @@
 //! put each DAP implementation (ABD, TREAS, LDR) at every position of a
 //! configuration chain — genesis, middle, tail — with live traffic.
 
-use ares_harness::{Scenario, check_atomicity};
+use ares_harness::{check_atomicity, Scenario};
 use ares_types::{ConfigId, Configuration, OpKind, ProcessId, Value};
 
 fn ids(r: std::ops::RangeInclusive<u32>) -> Vec<ProcessId> {
@@ -24,7 +24,8 @@ fn run_chain(configs: Vec<Configuration>, seed: u64) -> Vec<ares_types::OpComple
     let res = s.run();
     let h = res.assert_complete_and_atomic().to_vec();
     // The final read sees the newest write.
-    let final_read = h.iter().filter(|c| c.kind == OpKind::Read).max_by_key(|c| c.invoked_at).unwrap();
+    let final_read =
+        h.iter().filter(|c| c.kind == OpKind::Read).max_by_key(|c| c.invoked_at).unwrap();
     let max_write = h.iter().filter(|c| c.kind == OpKind::Write).max_by_key(|c| c.tag).unwrap();
     assert_eq!(final_read.tag, max_write.tag, "seed {seed}");
     h

@@ -2,7 +2,7 @@
 //! reconfigurers racing through consensus, clients catching up with the
 //! moving sequence.
 
-use ares_harness::{Scenario, standard_universe};
+use ares_harness::{standard_universe, Scenario};
 use ares_types::{ConfigId, Configuration, OpKind, ProcessId, Value};
 
 /// A long chain of TREAS configurations over a rotating server window.
@@ -62,19 +62,14 @@ fn writes_catch_up_with_chain() {
     let res = s.run();
     let h = res.assert_complete_and_atomic();
     let read = h.iter().find(|c| c.kind == OpKind::Read).unwrap();
-    let w2 = h
-        .iter()
-        .filter(|c| c.kind == OpKind::Write)
-        .max_by_key(|c| c.tag)
-        .unwrap();
+    let w2 = h.iter().filter(|c| c.kind == OpKind::Write).max_by_key(|c| c.tag).unwrap();
     assert_eq!(read.tag, w2.tag, "final read sees the newest write across the chain");
 }
 
 #[test]
 fn reads_during_storm_remain_atomic() {
     let n = 4;
-    let mut s =
-        Scenario::new(chain_universe(n)).clients([100, 110, 111, 200, 201]).seed(4);
+    let mut s = Scenario::new(chain_universe(n)).clients([100, 110, 111, 200, 201]).seed(4);
     s = s.write_at(0, 100, 0, Value::filler(80, 9));
     s = s.recon_at(500, 200, 1);
     s = s.recon_at(600, 201, 2);
@@ -93,10 +88,7 @@ fn reads_during_storm_remain_atomic() {
 #[test]
 fn direct_transfer_through_long_chain() {
     let n = 5;
-    let mut s = Scenario::new(chain_universe(n))
-        .clients([100, 200])
-        .direct_transfer()
-        .seed(5);
+    let mut s = Scenario::new(chain_universe(n)).clients([100, 200]).direct_transfer().seed(5);
     s = s.write_at(0, 100, 0, Value::filler(150, 77));
     for i in 1..=n {
         s = s.recon_at(i as u64 * 2_500, 200, i);

@@ -6,12 +6,7 @@ use ares_harness::Scenario;
 use ares_types::{ConfigId, Configuration, ProcessId, Value};
 
 fn universe() -> Vec<Configuration> {
-    vec![Configuration::treas(
-        ConfigId(0),
-        (1..=5).map(ProcessId).collect(),
-        3,
-        2,
-    )]
+    vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)]
 }
 
 #[test]
@@ -73,11 +68,8 @@ fn without_repair_second_crash_blocks_reads() {
     // s5 does reply with its stale list, so 4 responses arrive; the
     // condition fails and the read retries forever). Either way the read
     // must not return a wrong value; it may hang.
-    let reads: Vec<_> = res
-        .completions
-        .iter()
-        .filter(|c| c.kind == ares_types::OpKind::Read)
-        .collect();
+    let reads: Vec<_> =
+        res.completions.iter().filter(|c| c.kind == ares_types::OpKind::Read).collect();
     if let Some(r) = reads.first() {
         // If it completed, it must have decoded the correct value (s5's
         // stale list lacks the tag, but 3 holders + k = 3 suffice when

@@ -1,0 +1,125 @@
+//! Minimal vendored property-testing harness mirroring the `proptest` API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a small, deterministic re-implementation of the
+//! proptest surface the ARES test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * integer-range, tuple, [`Just`] and [`collection::vec`] strategies;
+//! * [`any`] over an [`Arbitrary`] trait (ints, `bool`, `Option`, tuples,
+//!   [`sample::Index`]);
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` assertion forms.
+//!
+//! Differences from real proptest: inputs are sampled from a fixed
+//! deterministic seed derived from the test's module path and name (fully
+//! reproducible across runs), and there is **no shrinking** — a failing
+//! case panics with the sampled inputs' debug representation instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use config::ProptestConfig;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// FNV-1a over a string, used to derive per-test deterministic seeds.
+#[doc(hidden)]
+pub fn __fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The body of the `proptest!` macro expansion: runs `cases` iterations,
+/// sampling each argument strategy from a per-case RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $pat:pat_param in $strat:expr ),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::__fnv(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::new(
+                        __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $( let $pat =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng); )*
+                    // Wrap the case in a closure so `prop_assume!` can skip
+                    // the rest of the case with a plain `return`.
+                    let mut __run = move || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Sampling helpers mirroring `proptest::sample`.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An abstract index into a collection whose length is only known at use
+/// time, mirroring `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves the abstract index against a collection of `len` items.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero (as in real proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}

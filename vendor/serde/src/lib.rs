@@ -1,0 +1,73 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! just enough of the serde trait surface for the hand-written impls in
+//! `ares_types::value` to compile: the four core traits plus a
+//! byte-oriented sliver of the data model. The derive macros (re-exported
+//! from the vendored `serde_derive`) expand to nothing — no ARES code path
+//! serializes derived types today; the annotations document intent for a
+//! future wire format.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format serializer (byte-oriented sliver of serde's data model).
+pub trait Serializer: Sized {
+    /// Output type produced on success.
+    type Ok;
+    /// Error type produced on failure.
+    type Error;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserializer (byte-oriented sliver of serde's data model).
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on failure.
+    type Error;
+
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+
+    /// Deserializes a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}

@@ -1,0 +1,24 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace builds offline, so the real serde derive machinery is
+//! unavailable. Nothing in the ARES code ever *invokes* serialization on a
+//! derived type (the only live serde code path is the hand-written impl on
+//! `ares_types::Value`), so these derives accept the `#[derive(Serialize,
+//! Deserialize)]` attributes — keeping every message type annotated for a
+//! future wire format — and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts (and ignores) `#[serde(...)]`
+/// helper attributes and emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts (and ignores) `#[serde(...)]`
+/// helper attributes and emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
