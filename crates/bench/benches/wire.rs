@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the `ares-net` wire codec: frame
+//! encode/decode throughput for the message shapes that dominate real
+//! traffic — coded-element writes (`TREAS.PUT-DATA`), full-value
+//! replication writes (`ABD.WRITE`), list replies, and the tiny
+//! metadata-only configuration-service messages.
+
+use ares_codes::Fragment;
+use ares_core::{CfgMsg, Msg};
+use ares_dap::{DapBody, DapMsg, Hdr, ListEntry};
+use ares_net::codec::{decode_payload, encode_frame};
+use ares_types::{ConfigId, ObjectId, OpId, ProcessId, RpcId, Tag, Value};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn hdr() -> Hdr {
+    Hdr {
+        cfg: ConfigId(1),
+        obj: ObjectId(0),
+        rpc: RpcId(77),
+        op: OpId { client: ProcessId(100), seq: 12 },
+    }
+}
+
+fn treas_write(payload: usize) -> Msg {
+    let data: Vec<u8> = (0..payload).map(|i| (i * 31) as u8).collect();
+    Msg::Dap(DapMsg::new(
+        hdr(),
+        DapBody::TreasWrite(
+            Tag::new(9, ProcessId(100)),
+            Fragment { index: 3, value_len: payload * 3, data: Bytes::from(data) },
+        ),
+    ))
+}
+
+fn abd_write(payload: usize) -> Msg {
+    Msg::Dap(DapMsg::new(
+        hdr(),
+        DapBody::AbdWrite(Tag::new(9, ProcessId(100)), Value::filler(payload, 5)),
+    ))
+}
+
+fn treas_list(entries: usize, payload: usize) -> Msg {
+    let list: Vec<ListEntry> = (0..entries)
+        .map(|i| ListEntry {
+            tag: Tag::new(i as u64, ProcessId(100)),
+            frag: Some(Fragment {
+                index: i % 5,
+                value_len: payload * 3,
+                data: Bytes::from(vec![i as u8; payload]),
+            }),
+        })
+        .collect();
+    Msg::Dap(DapMsg::new(hdr(), DapBody::TreasList(list)))
+}
+
+fn cfg_msg() -> Msg {
+    Msg::Cfg(CfgMsg::ReadConfig {
+        base: ConfigId(3),
+        rpc: RpcId(9),
+        op: OpId { client: ProcessId(200), seq: 4 },
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_encode");
+    for (name, msg) in [
+        ("treas_write_1k", treas_write(1 << 10)),
+        ("treas_write_64k", treas_write(1 << 16)),
+        ("abd_write_4k", abd_write(4 << 10)),
+        ("treas_list_8x1k", treas_list(8, 1 << 10)),
+        ("cfg_read_config", cfg_msg()),
+    ] {
+        let bytes = encode_frame(ProcessId(100), &msg).len() as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &msg, |b, m| {
+            b.iter(|| encode_frame(ProcessId(100), black_box(m)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_decode");
+    for (name, msg) in [
+        ("treas_write_1k", treas_write(1 << 10)),
+        ("treas_write_64k", treas_write(1 << 16)),
+        ("abd_write_4k", abd_write(4 << 10)),
+        ("treas_list_8x1k", treas_list(8, 1 << 10)),
+        ("cfg_read_config", cfg_msg()),
+    ] {
+        let frame = encode_frame(ProcessId(100), &msg);
+        let payload = &frame[4..];
+        g.throughput(Throughput::Bytes(frame.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &payload, |b, p| {
+            b.iter(|| decode_payload(black_box(p)).expect("valid frame"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

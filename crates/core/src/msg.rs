@@ -144,7 +144,7 @@ impl XferMsg {
 
 /// Harness commands that invoke client operations (injected by the
 /// environment, not part of the protocol).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientCmd {
     /// Invoke `write(value)` on `obj`.
     Write {
@@ -166,7 +166,7 @@ pub enum ClientCmd {
 }
 
 /// The unified message type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// DAP traffic.
     Dap(DapMsg),

@@ -25,6 +25,20 @@ use ares_types::{
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+/// Upper bound on concurrently pending transfer *tags per (dst, obj)*
+/// in the `D` set; beyond it the least-advanced entry for that object
+/// is evicted. Honest executions pend at most δ+1 tags per object per
+/// reconfigurer, so 64 is generous headroom — the cap exists so an
+/// open listener cannot be grown without limit by fabricated tags, and
+/// keying it per object keeps hostile floods from evicting *other*
+/// objects' genuine in-progress transfers.
+const MAX_PENDING_TAGS_PER_OBJECT: usize = 64;
+
+/// Upper bound on distinct claimed value lengths collected for one
+/// transfer tag (honest traffic has exactly one); beyond it the
+/// smallest, most recently started group is evicted.
+const MAX_VALUE_LEN_GROUPS: usize = 8;
+
 /// The ARES server process.
 pub struct ServerActor {
     me: ProcessId,
@@ -202,27 +216,103 @@ impl ServerActor {
                 if self.recons.get(&(dst, obj)).is_some_and(|s| s.contains(&rc)) {
                     return Vec::new(); // rc already served
                 }
+                // An untrusted peer may name an unregistered source
+                // configuration, or a destination this server is not a
+                // member of — drop rather than panic (the simulator never
+                // produces such traffic, but a real listener can).
+                let Some(src_params) = self.registry.try_get(src).map(|c| c.code_params()) else {
+                    return Vec::new();
+                };
+                let Some(my_index) = dst_cfg.server_index(self.me) else {
+                    return Vec::new();
+                };
+                // Shape-check the forwarded element *before* touching any
+                // state: a hostile fragment with an out-of-range codeword
+                // index or the wrong shard length for the source code
+                // must not even create a D-set entry. Accepted fragments
+                // are grouped by their claimed value length when testing
+                // decodability, groups are individually small (≤ n
+                // distinct indices) and bounded in number with
+                // least-progress eviction, and the total number of
+                // pending (dst, obj, tag) entries is capped the same way
+                // — so a *bounded* burst of hostile-but-self-consistent
+                // fragments can neither wedge a genuine transfer nor
+                // grow memory without limit. (Fabricating k mutually
+                // consistent fragments is Byzantine forgery, outside the
+                // crash-fault model.)
+                let expected_len = if src_params.k == 1 {
+                    frag.value_len // replication: a fragment is the value
+                } else {
+                    frag.value_len.div_ceil(src_params.k).max(1) // RS shard
+                };
+                if frag.index >= src_params.n || frag.data.len() != expected_len {
+                    return Vec::new();
+                }
+                let frag_value_len = frag.value_len;
                 let in_list = self.dap.treas_state(dst, obj).list.contains_key(&tag);
                 if !in_list {
+                    if !self.dset.contains_key(&(dst, obj, tag))
+                        && self.dset.keys().filter(|(d, o, _)| *d == dst && *o == obj).count()
+                            >= MAX_PENDING_TAGS_PER_OBJECT
+                    {
+                        // Evict this object's least-advanced pending
+                        // transfer (fewest fragments, then fewest
+                        // bytes): junk entries are typically
+                        // single-fragment and go first; a genuine
+                        // transfer re-accumulates from retried forwards
+                        // if it is ever the victim.
+                        let victim = self
+                            .dset
+                            .iter()
+                            .filter(|((d, o, _), _)| *d == dst && *o == obj)
+                            .min_by_key(|(_, v)| {
+                                (v.len(), v.iter().map(|f| f.data.len()).sum::<usize>())
+                            })
+                            .map(|(k, _)| *k);
+                        if let Some(k) = victim {
+                            self.dset.remove(&k);
+                        }
+                    }
                     // D ← D ∪ {⟨t, e_i⟩}
                     let d = self.dset.entry((dst, obj, tag)).or_default();
-                    if !d.iter().any(|f| f.index == frag.index) {
+                    if !d.iter().any(|f| f.index == frag.index && f.value_len == frag_value_len) {
+                        let group_exists = d.iter().any(|f| f.value_len == frag_value_len);
+                        let mut groups: Vec<usize> = d.iter().map(|f| f.value_len).collect();
+                        groups.sort_unstable();
+                        groups.dedup();
+                        if !group_exists && groups.len() >= MAX_VALUE_LEN_GROUPS {
+                            // Too many claimed value lengths for one tag:
+                            // evict the smallest (preferring the most
+                            // recently started) so the new group can form.
+                            let victim = groups
+                                .iter()
+                                .map(|&vl| {
+                                    let size = d.iter().filter(|f| f.value_len == vl).count();
+                                    let first =
+                                        d.iter().position(|f| f.value_len == vl).unwrap_or(0);
+                                    (size, std::cmp::Reverse(first), vl)
+                                })
+                                .min()
+                                .map(|(_, _, vl)| vl);
+                            if let Some(vl) = victim {
+                                d.retain(|f| f.value_len != vl);
+                            }
+                        }
                         d.push(frag);
                     }
-                    // isDecodable(D, t)?
-                    let src_params = self.registry.get(src).code_params();
-                    let decodable = self.dset[&(dst, obj, tag)].len() >= src_params.k;
-                    if decodable {
+                    // isDecodable(D, t)? — tested per value_len group.
+                    let d = &self.dset[&(dst, obj, tag)];
+                    let group: Vec<Fragment> =
+                        d.iter().filter(|f| f.value_len == frag_value_len).cloned().collect();
+                    if group.len() >= src_params.k {
                         let decoder = build_code(src_params).expect("valid source code");
-                        if let Ok(value) = decoder.decode(&self.dset[&(dst, obj, tag)]) {
+                        if let Ok(value) = decoder.decode(&group) {
                             // Re-encode with the destination code and
                             // store own element; D keeps the tag only.
                             self.dset.remove(&(dst, obj, tag));
                             let enc =
                                 build_code(dst_cfg.code_params()).expect("valid destination code");
-                            let idx =
-                                dst_cfg.server_index(self.me).expect("we are a member of dst");
-                            let my_elem = enc.encode_fragment(&value, idx);
+                            let my_elem = enc.encode_fragment(&value, my_index);
                             self.dap.treas_state(dst, obj).insert_and_gc(tag, my_elem, delta);
                         }
                     }
@@ -472,6 +562,94 @@ mod tests {
         let out = s.handle_xfer(ProcessId(7), other_rc);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, ProcessId(201));
+    }
+
+    #[test]
+    fn hostile_fragment_shapes_are_rejected_and_do_not_wedge_transfer() {
+        // A hostile peer forwards malformed coded elements (out-of-range
+        // codeword index, wrong shard length) before the real ones: they
+        // must be dropped, and the genuine k fragments must still decode
+        // — a poisoned D set would fail decoding forever.
+        use bytes::Bytes;
+        let reg = registry();
+        let mut s = ServerActor::new(ProcessId(6), reg.clone());
+        let v = Value::filler(90, 5);
+        let src_code = build_code(reg.get(ConfigId(1)).code_params()).unwrap();
+        let frags = src_code.encode(v.as_bytes());
+        let tag = Tag::new(7, ProcessId(9));
+        let fwd = |frag: Fragment| XferMsg::FwdElem {
+            tag,
+            frag,
+            src: ConfigId(1),
+            dst: ConfigId(2),
+            obj: ObjectId(0),
+            rc: ProcessId(200),
+            rpc: RpcId(4),
+            op: op(),
+        };
+        let poison = Fragment { index: 99, value_len: 90, data: frags[0].data.clone() };
+        assert!(s.handle_xfer(ProcessId(4), fwd(poison)).is_empty());
+        let short = Fragment { index: 4, value_len: 90, data: Bytes::from(vec![0u8; 5]) };
+        assert!(s.handle_xfer(ProcessId(4), fwd(short)).is_empty());
+        // A burst of *self-consistent* hostile fragments (valid shape
+        // for their own claimed value_len, many distinct value_lens)
+        // arriving first must not wedge the genuine group either:
+        // decodability is tested per value_len group, and excess groups
+        // are evicted rather than blocking new ones.
+        for vl in 1..=12usize {
+            let wedge = Fragment {
+                index: 0,
+                value_len: 4000 + vl,
+                data: Bytes::from(vec![7u8; (4000 + vl).div_ceil(3)]),
+            };
+            assert!(s.handle_xfer(ProcessId(4), fwd(wedge)).is_empty());
+        }
+        assert!(s.handle_xfer(ProcessId(4), fwd(frags[0].clone())).is_empty());
+        assert!(s.handle_xfer(ProcessId(5), fwd(frags[1].clone())).is_empty());
+        let out = s.handle_xfer(ProcessId(6), fwd(frags[2].clone()));
+        assert_eq!(out.len(), 1, "transfer completes despite hostile fragments");
+    }
+
+    #[test]
+    fn pending_transfer_state_is_bounded_under_fabricated_tags() {
+        // A hostile peer streaming forwards under fresh fabricated tags
+        // must not grow the D set without bound, and rejected shapes
+        // must not even create entries.
+        use bytes::Bytes;
+        let reg = registry();
+        let mut s = ServerActor::new(ProcessId(6), reg.clone());
+        // Shape-invalid fragments create nothing.
+        let bad = XferMsg::FwdElem {
+            tag: Tag::new(1, ProcessId(9)),
+            frag: Fragment { index: 99, value_len: 30, data: Bytes::from(vec![0u8; 10]) },
+            src: ConfigId(1),
+            dst: ConfigId(2),
+            obj: ObjectId(0),
+            rc: ProcessId(200),
+            rpc: RpcId(1),
+            op: op(),
+        };
+        assert!(s.handle_xfer(ProcessId(4), bad).is_empty());
+        assert!(s.dset.is_empty(), "rejected fragments must not create D-set entries");
+        // Shape-valid fragments under many fabricated tags stay capped.
+        for z in 0..(4 * MAX_PENDING_TAGS_PER_OBJECT as u64) {
+            let fwd = XferMsg::FwdElem {
+                tag: Tag::new(z + 1, ProcessId(9)),
+                frag: Fragment { index: 0, value_len: 30, data: Bytes::from(vec![1u8; 10]) },
+                src: ConfigId(1),
+                dst: ConfigId(2),
+                obj: ObjectId(0),
+                rc: ProcessId(200),
+                rpc: RpcId(1),
+                op: op(),
+            };
+            s.handle_xfer(ProcessId(4), fwd);
+        }
+        assert!(
+            s.dset.len() <= MAX_PENDING_TAGS_PER_OBJECT,
+            "D set stays bounded per object, has {} entries",
+            s.dset.len()
+        );
     }
 
     #[test]

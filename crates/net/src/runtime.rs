@@ -1,0 +1,814 @@
+//! Threaded TCP hosts for the ARES actors.
+//!
+//! The protocol engines in this workspace are pure state machines — the
+//! simulator drives them with virtual events; this module drives the
+//! *same* `ServerActor` / `ClientActor` types with real sockets:
+//!
+//! * one **listener thread** accepts connections; each connection gets a
+//!   **reader thread** that decodes length-prefixed frames
+//!   ([`crate::codec`]) and forwards `(from, Msg)` events;
+//! * a single **event-loop thread** owns the actor and processes all
+//!   events in arrival order (the actor therefore stays single-threaded,
+//!   exactly as under the simulator);
+//! * a **timer thread** turns `timer_after` requests into deadline-based
+//!   wakeups delivered back into the event loop;
+//! * outbound sends go through a **peer pool**: one writer thread per
+//!   destination, connecting on demand and reconnecting after failures.
+//!
+//! Wall-clock time is reported to actors as microseconds since a shared
+//! epoch ([`ares_types::Time`] is documented as abstract microseconds),
+//! so completion records from different hosts of one deployment are
+//! mutually comparable and feed the usual atomicity checker.
+//!
+//! Crash-stop faults are modelled at the host boundary: [`NodeRuntime::pause`]
+//! makes the node drop every delivered frame and pending timer (peers
+//! see their connections close and must reconnect), and
+//! [`NodeRuntime::resume`] lets the retained state rejoin — the
+//! semantics of `ares-sim`'s crash/recover schedule. A blank-state
+//! restart composes with the fragment-repair protocol via
+//! [`NodeRuntime::replace`].
+
+use crate::codec::{self, read_frame};
+use ares_core::{ClientActor, ClientCmd, ClientConfig, Msg, ServerActor};
+use ares_sim::{Actor, Ctx, HostEffect};
+use ares_types::{ConfigId, ConfigRegistry, ObjectId, OpCompletion, ProcessId, Time, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The environment pseudo-process used as the `from` of injected events
+/// (mirrors `ares_harness::ENV`).
+pub const ENV: ProcessId = ProcessId(0);
+
+/// How long a blocking [`RemoteClient`] operation may take before the
+/// call panics (a liveness failure in a test deployment).
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The process-wide completion-timestamp epoch used by the convenience
+/// constructors, so every host started in this OS process stamps
+/// mutually comparable times. Deployments spanning several processes or
+/// machines must thread one explicit epoch through the `serve`
+/// constructors (and align their clocks externally).
+fn process_epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Maps process ids to socket addresses — the deployment's static view
+/// of "who listens where" (the paper's known universe of processes).
+#[derive(Debug, Clone, Default)]
+pub struct AddrBook {
+    map: HashMap<ProcessId, SocketAddr>,
+}
+
+impl AddrBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a book from `(pid, addr)` pairs.
+    pub fn from_entries(entries: impl IntoIterator<Item = (ProcessId, SocketAddr)>) -> Self {
+        AddrBook { map: entries.into_iter().collect() }
+    }
+
+    /// Registers (or replaces) a process address.
+    pub fn insert(&mut self, pid: ProcessId, addr: SocketAddr) {
+        self.map.insert(pid, addr);
+    }
+
+    /// The address of `pid`, if known.
+    pub fn addr(&self, pid: ProcessId) -> Option<SocketAddr> {
+        self.map.get(&pid).copied()
+    }
+
+    /// All registered processes.
+    pub fn pids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.map.keys().copied()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer thread
+// ---------------------------------------------------------------------
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    shutdown: bool,
+}
+
+struct Timers {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+impl Timers {
+    fn new() -> Arc<Self> {
+        Arc::new(Timers {
+            state: Mutex::new(TimerState { heap: BinaryHeap::new(), shutdown: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn arm(&self, deadline: Instant, token: u64) {
+        self.state.lock().expect("timer lock").heap.push(Reverse((deadline, token)));
+        self.cv.notify_one();
+    }
+
+    fn clear(&self) {
+        self.state.lock().expect("timer lock").heap.clear();
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("timer lock").shutdown = true;
+        self.cv.notify_one();
+    }
+
+    /// Runs until shutdown, delivering due tokens through `fire`.
+    fn run(&self, fire: impl Fn(u64)) {
+        let mut st = self.state.lock().expect("timer lock");
+        loop {
+            if st.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            match st.heap.peek().copied() {
+                None => {
+                    st = self.cv.wait(st).expect("timer lock");
+                }
+                Some(Reverse((deadline, token))) if deadline <= now => {
+                    st.heap.pop();
+                    drop(st);
+                    fire(token);
+                    st = self.state.lock().expect("timer lock");
+                }
+                Some(Reverse((deadline, _))) => {
+                    let (guard, _) = self.cv.wait_timeout(st, deadline - now).expect("timer lock");
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outbound peer pool
+// ---------------------------------------------------------------------
+
+struct PeerPool {
+    book: Arc<AddrBook>,
+    senders: Mutex<HashMap<ProcessId, Sender<Vec<u8>>>>,
+}
+
+impl PeerPool {
+    fn new(book: Arc<AddrBook>) -> Arc<Self> {
+        Arc::new(PeerPool { book, senders: Mutex::new(HashMap::new()) })
+    }
+
+    /// Enqueues a frame for `to`, spawning its writer thread on first
+    /// use (and respawning it if a previous one exited).
+    fn send(&self, to: ProcessId, frame: Vec<u8>) {
+        let Some(addr) = self.book.addr(to) else {
+            return; // unknown destination: drop, like the simulator does
+        };
+        let mut senders = self.senders.lock().expect("pool lock");
+        let frame = match senders.get(&to) {
+            Some(tx) => match tx.send(frame) {
+                Ok(()) => return,
+                Err(mpsc::SendError(frame)) => {
+                    senders.remove(&to);
+                    frame
+                }
+            },
+            None => frame,
+        };
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        let _ = tx.send(frame);
+        senders.insert(to, tx);
+        std::thread::spawn(move || writer_loop(addr, rx));
+    }
+}
+
+/// One outbound connection: pops frames, (re)connects on demand, writes.
+///
+/// A frame that cannot be written after one reconnect attempt is
+/// dropped — the asynchronous-channel abstraction the protocols assume
+/// tolerates loss to crashed peers, and quorum logic never waits on a
+/// dead destination.
+fn writer_loop(addr: SocketAddr, rx: Receiver<Vec<u8>>) {
+    let mut stream: Option<BufWriter<TcpStream>> = None;
+    let connect = |addr: SocketAddr| -> Option<BufWriter<TcpStream>> {
+        for backoff_ms in [0u64, 20, 100] {
+            if backoff_ms > 0 {
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+            }
+            if let Ok(s) = TcpStream::connect(addr) {
+                let _ = s.set_nodelay(true);
+                return Some(BufWriter::new(s));
+            }
+        }
+        None
+    };
+    while let Ok(frame) = rx.recv() {
+        for _attempt in 0..2 {
+            if stream.is_none() {
+                stream = connect(addr);
+            }
+            let Some(s) = stream.as_mut() else { break };
+            if s.write_all(&frame).and_then(|()| s.flush()).is_ok() {
+                break;
+            }
+            stream = None; // write failed: reconnect once, then give up
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generic actor host
+// ---------------------------------------------------------------------
+
+enum Event<A> {
+    Deliver {
+        from: ProcessId,
+        msg: Msg,
+        /// True for network-sourced events, which count against the
+        /// inbound high-water mark (local loopback/injections do not).
+        counted: bool,
+    },
+    Timer {
+        token: u64,
+    },
+    Pause,
+    Resume,
+    Replace(A),
+    Shutdown,
+}
+
+/// What the listener admits: used to drop traffic for fabricated ids
+/// before it can create per-object or per-config actor state.
+struct Admission {
+    registry: Arc<ConfigRegistry>,
+    /// When set, only these objects are served; `None` admits any
+    /// object (a deployment with an open object universe).
+    objects: Option<std::collections::HashSet<ObjectId>>,
+}
+
+impl Admission {
+    fn admits(&self, msg: &Msg) -> bool {
+        codec::referenced_configs(msg).iter().all(|&c| self.registry.try_get(c).is_some())
+            && match (&self.objects, codec::referenced_object(msg)) {
+                (Some(set), Some(obj)) => set.contains(&obj),
+                _ => true,
+            }
+    }
+}
+
+/// Backpressure threshold for the inbound event queue: reader threads
+/// stall (propagating TCP backpressure to the peer) while this many
+/// network events are waiting, so a fast or hostile peer cannot grow
+/// the unbounded mpsc queue — and the decoded frames it holds —
+/// without limit. Local events (timers, self-sends, injections) bypass
+/// the gate; they are intrinsically bounded.
+const INBOUND_HIGH_WATER: usize = 4096;
+
+struct Host<A: Actor<Msg> + Send + 'static> {
+    pid: ProcessId,
+    local_addr: SocketAddr,
+    tx: Sender<Event<A>>,
+    /// Shared with reader threads: while set, every received frame is
+    /// dropped and its connection closed (crash window).
+    paused: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    timers: Arc<Timers>,
+    /// A clone of the listening socket, kept so shutdown can flip it
+    /// nonblocking (belt to the throwaway-connection braces).
+    listener: TcpListener,
+    threads: Vec<JoinHandle<()>>,
+    /// The accept thread is not joined: if its `accept()` cannot be
+    /// unblocked (e.g. fd exhaustion defeats the wake-up connection),
+    /// shutdown must still return; the thread exits with the process.
+    _accept_thread: JoinHandle<()>,
+}
+
+impl<A: Actor<Msg> + Send + 'static> Host<A> {
+    #[allow(clippy::too_many_arguments)]
+    fn start(
+        pid: ProcessId,
+        actor: A,
+        admission: Admission,
+        book: Arc<AddrBook>,
+        listener: TcpListener,
+        epoch: Instant,
+        completions: Option<Sender<OpCompletion>>,
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let listener_clone = listener.try_clone()?;
+        let (tx, rx) = mpsc::channel::<Event<A>>();
+        let inbound = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let paused = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let timers = Timers::new();
+        let pool = PeerPool::new(book);
+        let mut threads = Vec::new();
+
+        // Event loop.
+        {
+            let tx = tx.clone();
+            let timers = timers.clone();
+            let inbound = inbound.clone();
+            threads.push(std::thread::spawn(move || {
+                event_loop(pid, actor, rx, tx, pool, timers, epoch, completions, inbound);
+            }));
+        }
+        // Timer thread.
+        {
+            let tx = tx.clone();
+            let timers = timers.clone();
+            threads.push(std::thread::spawn(move || {
+                timers.run(|token| {
+                    let _ = tx.send(Event::Timer { token });
+                });
+            }));
+        }
+        // Listener.
+        let accept_thread = {
+            let tx = tx.clone();
+            let paused = paused.clone();
+            let shutdown = shutdown.clone();
+            let inbound = inbound.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, Arc::new(admission), tx, paused, shutdown, inbound);
+            })
+        };
+        Ok(Host {
+            pid,
+            local_addr,
+            tx,
+            paused,
+            shutdown,
+            timers,
+            listener: listener_clone,
+            threads,
+            _accept_thread: accept_thread,
+        })
+    }
+
+    fn inject(&self, from: ProcessId, msg: Msg) {
+        let _ = self.tx.send(Event::Deliver { from, msg, counted: false });
+    }
+
+    fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+        self.timers.clear();
+        let _ = self.tx.send(Event::Pause);
+    }
+
+    fn resume(&self) {
+        let _ = self.tx.send(Event::Resume);
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    fn replace(&self, actor: A) {
+        let _ = self.tx.send(Event::Replace(actor));
+    }
+
+    fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.timers.shutdown();
+        let _ = self.tx.send(Event::Shutdown);
+        // Unblock the accept loop: flip the shared socket nonblocking
+        // (future accepts return immediately) and poke it with a
+        // throwaway connection (wakes an already-blocked accept). The
+        // accept thread is deliberately not joined — see its field doc.
+        let _ = self.listener.set_nonblocking(true);
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accepts inbound connections and spawns a frame-reader per connection.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop<A: Actor<Msg> + Send + 'static>(
+    listener: TcpListener,
+    admission: Arc<Admission>,
+    tx: Sender<Event<A>>,
+    paused: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    inbound: Arc<std::sync::atomic::AtomicUsize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                let tx = tx.clone();
+                let admission = admission.clone();
+                let paused = paused.clone();
+                let shutdown = shutdown.clone();
+                let inbound = inbound.clone();
+                // Reader threads are daemons: they exit on EOF, on any
+                // read/decode error, and on pause/shutdown.
+                std::thread::spawn(move || {
+                    reader_loop(stream, admission, tx, paused, shutdown, inbound);
+                });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (e.g. fd exhaustion under a
+                // connection flood) must not hot-spin a core.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Decodes frames off one connection and forwards them as events.
+///
+/// Malformed input — a hostile length prefix, truncated frame, unknown
+/// variant byte, or a message naming an unregistered configuration —
+/// tears down *this connection only*; the node keeps serving everyone
+/// else. Nothing on this path can panic the host.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop<A: Actor<Msg> + Send + 'static>(
+    stream: TcpStream,
+    admission: Arc<Admission>,
+    tx: Sender<Event<A>>,
+    paused: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    inbound: Arc<std::sync::atomic::AtomicUsize>,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some((from, msg))) => {
+                if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
+                    return; // crash window: drop frame, sever connection
+                }
+                // Command frames are environment-injected, never
+                // protocol traffic: a peer must not be able to drive a
+                // host's client operations (or pollute a blocked
+                // RemoteClient's completion channel) over the network.
+                // The trusted local path is `inject()`.
+                if matches!(msg, Msg::Cmd(_)) {
+                    continue;
+                }
+                // Network-facing dispatch guard: a stale or hostile
+                // configuration id must not reach the actors, whose
+                // internal registry lookups treat unknown ids as
+                // protocol bugs (`try_get` makes the check total), and
+                // a deployment with a declared object universe drops
+                // traffic for fabricated objects before it can create
+                // per-object state.
+                if admission.admits(&msg) {
+                    // Backpressure: stall this connection (and, through
+                    // TCP, its peer) while the event queue is saturated
+                    // instead of letting it grow without bound.
+                    while inbound.load(Ordering::SeqCst) >= INBOUND_HIGH_WATER {
+                        if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    inbound.fetch_add(1, Ordering::SeqCst);
+                    if tx.send(Event::Deliver { from, msg, counted: true }).is_err() {
+                        inbound.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// The single-threaded actor driver: applies events in arrival order and
+/// maps the drained [`HostEffect`]s onto sockets, timers and the
+/// completion log.
+#[allow(clippy::too_many_arguments)]
+fn event_loop<A: Actor<Msg> + Send + 'static>(
+    pid: ProcessId,
+    mut actor: A,
+    rx: Receiver<Event<A>>,
+    loopback: Sender<Event<A>>,
+    pool: Arc<PeerPool>,
+    timers: Arc<Timers>,
+    epoch: Instant,
+    completions: Option<Sender<OpCompletion>>,
+    inbound: Arc<std::sync::atomic::AtomicUsize>,
+) {
+    let mut rng = StdRng::seed_from_u64(pid.0 as u64 ^ 0xA1E5_0000);
+    let mut paused = false;
+    while let Ok(ev) = rx.recv() {
+        match ev {
+            Event::Shutdown => return,
+            Event::Pause => paused = true,
+            Event::Resume => paused = false,
+            Event::Replace(a) => actor = a,
+            Event::Deliver { from, msg, counted } => {
+                if counted {
+                    inbound.fetch_sub(1, Ordering::SeqCst);
+                }
+                if paused {
+                    continue;
+                }
+                let now: Time = epoch.elapsed().as_micros() as Time;
+                let mut ctx = Ctx::detached(pid, now, &mut rng);
+                actor.on_message(from, msg, &mut ctx);
+                let effects = ctx.take_effects();
+                apply(pid, effects, &loopback, &pool, &timers, &completions);
+            }
+            Event::Timer { token } => {
+                if paused {
+                    continue;
+                }
+                let now: Time = epoch.elapsed().as_micros() as Time;
+                let mut ctx = Ctx::detached(pid, now, &mut rng);
+                actor.on_timer(token, &mut ctx);
+                let effects = ctx.take_effects();
+                apply(pid, effects, &loopback, &pool, &timers, &completions);
+            }
+        }
+    }
+}
+
+fn apply<A>(
+    pid: ProcessId,
+    effects: Vec<HostEffect<Msg>>,
+    loopback: &Sender<Event<A>>,
+    pool: &PeerPool,
+    timers: &Timers,
+    completions: &Option<Sender<OpCompletion>>,
+) {
+    for eff in effects {
+        match eff {
+            HostEffect::Send { to, msg } => {
+                if to == pid {
+                    // Self-sends (e.g. a server forwarding a coded
+                    // element to itself) short-circuit the socket.
+                    let _ = loopback.send(Event::Deliver { from: pid, msg, counted: false });
+                } else if let Ok(frame) = codec::try_encode_frame(pid, &msg) {
+                    pool.send(to, frame);
+                }
+                // An over-limit frame (e.g. a TreasList reply whose δ+1
+                // coded elements together exceed MAX_FRAME_LEN) is
+                // dropped: every receiver would reject it anyway, and a
+                // long-running host must not die over one reply. Quorum
+                // logic treats it as a lost message.
+            }
+            HostEffect::SetTimer { delay, token } => {
+                timers.arm(Instant::now() + Duration::from_micros(delay), token);
+            }
+            HostEffect::Complete(c) => {
+                if let Some(tx) = completions {
+                    let _ = tx.send(c);
+                }
+            }
+            HostEffect::Note(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public runtimes
+// ---------------------------------------------------------------------
+
+/// A live ARES server node: a [`ServerActor`] behind a TCP listener.
+pub struct NodeRuntime {
+    host: Host<ServerActor>,
+}
+
+impl NodeRuntime {
+    /// Starts a node, binding the listener to this process's address in
+    /// `book`. Completion timestamps use the process-wide epoch, so
+    /// hosts started this way within one OS process stay mutually
+    /// comparable.
+    pub fn start(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        book: Arc<AddrBook>,
+    ) -> io::Result<Self> {
+        let addr = book
+            .addr(me)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{me} not in book")))?;
+        Self::serve(me, registry, book, TcpListener::bind(addr)?, process_epoch(), None)
+    }
+
+    /// Starts a node on an already-bound listener (lets a deployment
+    /// bind every port first and share a completion-timestamp `epoch`).
+    ///
+    /// `objects` declares the object universe this deployment serves;
+    /// when given, listener traffic for any other object is dropped
+    /// before it can create per-object server state (an open listener
+    /// would otherwise let fabricated object ids grow memory without
+    /// limit). `None` admits any object.
+    pub fn serve(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        book: Arc<AddrBook>,
+        listener: TcpListener,
+        epoch: Instant,
+        objects: Option<&[ObjectId]>,
+    ) -> io::Result<Self> {
+        let actor = ServerActor::new(me, registry.clone());
+        let admission =
+            Admission { registry, objects: objects.map(|o| o.iter().copied().collect()) };
+        let host = Host::start(me, actor, admission, book, listener, epoch, None)?;
+        Ok(NodeRuntime { host })
+    }
+
+    /// This node's process id.
+    pub fn pid(&self) -> ProcessId {
+        self.host.pid
+    }
+
+    /// The listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.host.local_addr
+    }
+
+    /// Injects a message as if delivered from `from` (environment
+    /// commands such as repair triggers).
+    pub fn inject(&self, from: ProcessId, msg: Msg) {
+        self.host.inject(from, msg);
+    }
+
+    /// Crash-stops the node: every received frame and pending timer is
+    /// dropped, and inbound connections are severed, until
+    /// [`NodeRuntime::resume`]. State is retained (crash with stable
+    /// storage).
+    pub fn pause(&self) {
+        self.host.pause();
+    }
+
+    /// Ends a [`NodeRuntime::pause`] window; the retained state rejoins.
+    pub fn resume(&self) {
+        self.host.resume();
+    }
+
+    /// Replaces the hosted actor with a blank one (a restart that lost
+    /// its state); combine with a `RepairMsg::Trigger` injection to
+    /// rebuild coded elements from live peers.
+    pub fn replace(&self, actor: ServerActor) {
+        self.host.replace(actor);
+    }
+
+    /// Stops all threads and closes the listener.
+    pub fn shutdown(self) {
+        self.host.shutdown();
+    }
+}
+
+/// A live ARES client: a [`ClientActor`] behind a TCP listener, driven
+/// through blocking `read` / `write` / `reconfig` calls that return the
+/// same [`OpCompletion`] records the simulator harness produces.
+pub struct RemoteClient {
+    host: Host<ClientActor>,
+    completions: Mutex<Receiver<OpCompletion>>,
+    op_timeout: Duration,
+}
+
+impl RemoteClient {
+    /// Connects a client to a deployment, binding its reply listener to
+    /// its address in `book`. Completion timestamps use the
+    /// process-wide epoch (see [`NodeRuntime::start`]).
+    pub fn start(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        config: ClientConfig,
+        book: Arc<AddrBook>,
+    ) -> io::Result<Self> {
+        let addr = book
+            .addr(me)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{me} not in book")))?;
+        Self::serve(me, registry, config, book, TcpListener::bind(addr)?, process_epoch())
+    }
+
+    /// Starts a client on an already-bound reply listener with a shared
+    /// timestamp `epoch`.
+    pub fn serve(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        config: ClientConfig,
+        book: Arc<AddrBook>,
+        listener: TcpListener,
+        epoch: Instant,
+    ) -> io::Result<Self> {
+        let actor = ClientActor::new(registry.clone(), config);
+        let (ctx_tx, ctx_rx) = mpsc::channel();
+        let admission = Admission { registry, objects: None };
+        let host = Host::start(me, actor, admission, book, listener, epoch, Some(ctx_tx))?;
+        Ok(RemoteClient { host, completions: Mutex::new(ctx_rx), op_timeout: DEFAULT_OP_TIMEOUT })
+    }
+
+    /// This client's process id.
+    pub fn pid(&self) -> ProcessId {
+        self.host.pid
+    }
+
+    /// Overrides the blocking-operation timeout.
+    #[must_use]
+    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Enqueues a command without waiting for its completion (the actor
+    /// executes queued commands one at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a written value cannot fit a wire frame
+    /// ([`crate::codec::MAX_FRAME_LEN`]). Checking here, on the calling
+    /// thread, turns an impossible-to-transmit value into an immediate,
+    /// attributable error instead of a dead event loop and a 60-second
+    /// timeout.
+    pub fn invoke(&self, cmd: ClientCmd) {
+        Self::check_cmd(&cmd);
+        self.host.inject(ENV, Msg::Cmd(cmd));
+    }
+
+    fn check_cmd(cmd: &ClientCmd) {
+        if let ClientCmd::Write { value, .. } = cmd {
+            assert!(
+                value.len() + 1024 <= codec::MAX_FRAME_LEN,
+                "value of {} bytes cannot fit a wire frame (limit {})",
+                value.len(),
+                codec::MAX_FRAME_LEN
+            );
+        }
+    }
+
+    /// Receives the next completion record, if one arrives in time.
+    ///
+    /// Pair this with [`RemoteClient::invoke`]; mixing it with the
+    /// blocking `read`/`write`/`reconfig` calls from other threads
+    /// would race them for records (the blocking calls pair commands
+    /// with completions by holding the receiver for the full call).
+    pub fn next_completion(&self, timeout: Duration) -> Result<OpCompletion, RecvTimeoutError> {
+        self.completions.lock().expect("completion lock").recv_timeout(timeout)
+    }
+
+    fn run(&self, cmd: ClientCmd, what: &str) -> OpCompletion {
+        // Validate before taking the lock: an oversized-value panic
+        // while holding the receiver would poison it and bury the real
+        // cause under "completion lock" panics on other threads.
+        Self::check_cmd(&cmd);
+        // Hold the receiver across invoke + recv: concurrent blocking
+        // calls on one client serialize here, so each call is paired
+        // with its *own* completion (the actor executes queued commands
+        // FIFO and completions arrive in the same order) instead of
+        // racing for whichever record lands first.
+        let rx = self.completions.lock().expect("completion lock");
+        self.invoke(cmd);
+        match rx.recv_timeout(self.op_timeout) {
+            Ok(c) => c,
+            Err(e) => panic!("{} on client {} did not complete: {e:?}", what, self.pid()),
+        }
+    }
+
+    /// Executes `write(obj, value)` against the live cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete within the timeout.
+    pub fn write(&self, obj: ObjectId, value: Value) -> OpCompletion {
+        self.run(ClientCmd::Write { obj, value }, "write")
+    }
+
+    /// Executes `read(obj)` against the live cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete within the timeout.
+    pub fn read(&self, obj: ObjectId) -> OpCompletion {
+        self.run(ClientCmd::Read { obj }, "read")
+    }
+
+    /// Executes `reconfig(target)` against the live cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete within the timeout.
+    pub fn reconfig(&self, target: ConfigId) -> OpCompletion {
+        self.run(ClientCmd::Recon { target }, "reconfig")
+    }
+
+    /// Stops all threads and closes the reply listener.
+    pub fn shutdown(self) {
+        self.host.shutdown();
+    }
+}

@@ -1,0 +1,246 @@
+//! In-process loopback deployments for integration tests and benches.
+//!
+//! [`LocalCluster`] boots every server of a configuration universe as a
+//! real [`NodeRuntime`] on an ephemeral `127.0.0.1` port, wires the
+//! address book, and hands out [`RemoteClient`]s — all inside one test
+//! process, so `cargo test` can exercise the full TCP stack (codec,
+//! listeners, reconnects, timers) without any external orchestration.
+//! Nodes can be killed and restarted mid-run to exercise fault paths.
+
+use crate::runtime::{AddrBook, NodeRuntime, RemoteClient, ENV};
+use ares_core::{ClientConfig, Msg, RepairMsg, ServerActor};
+use ares_types::{ConfigId, ConfigRegistry, Configuration, ObjectId, ProcessId};
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Builder for a [`LocalCluster`].
+pub struct ClusterBuilder {
+    configs: Vec<Configuration>,
+    clients: Vec<ProcessId>,
+    objects: Vec<ObjectId>,
+    direct_transfer: bool,
+    backoff_unit: Option<ares_types::Time>,
+}
+
+impl ClusterBuilder {
+    /// Starts describing a deployment; the first configuration is the
+    /// genesis configuration `c_0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<Configuration>) -> Self {
+        assert!(!configs.is_empty(), "a deployment needs at least c_0");
+        ClusterBuilder {
+            configs,
+            clients: Vec::new(),
+            objects: vec![ObjectId(0)],
+            direct_transfer: false,
+            backoff_unit: None,
+        }
+    }
+
+    /// Adds client processes.
+    #[must_use]
+    pub fn clients(mut self, pids: impl IntoIterator<Item = u32>) -> Self {
+        self.clients.extend(pids.into_iter().map(ProcessId));
+        self
+    }
+
+    /// Declares the objects reconfigurations must migrate (defaults to
+    /// object 0).
+    #[must_use]
+    pub fn objects(mut self, objs: impl IntoIterator<Item = u32>) -> Self {
+        self.objects = objs.into_iter().map(ObjectId).collect();
+        assert!(!self.objects.is_empty(), "a deployment manages at least one object");
+        self
+    }
+
+    /// Uses the ARES-TREAS direct state transfer for reconfigurations.
+    #[must_use]
+    pub fn direct_transfer(mut self) -> Self {
+        self.direct_transfer = true;
+        self
+    }
+
+    /// Overrides the clients' retry/backoff unit, in microseconds of
+    /// real time. The `ClientConfig` default (50 µs) is tuned for the
+    /// simulator's abstract clock and is appropriate on loopback; a
+    /// deployment over a slower link should raise it toward its RTT so
+    /// quorum phases do not rebroadcast many times per round trip.
+    #[must_use]
+    pub fn backoff_unit(mut self, micros: ares_types::Time) -> Self {
+        self.backoff_unit = Some(micros);
+        self
+    }
+
+    /// Binds every port, starts every node, connects every client.
+    pub fn start(self) -> io::Result<LocalCluster> {
+        let c0 = self.configs[0].id;
+        let server_pids: BTreeSet<ProcessId> =
+            self.configs.iter().flat_map(|c| c.servers.iter().copied()).collect();
+        let registry = ConfigRegistry::from_configs(self.configs);
+
+        // Bind all listeners first so the address book is complete
+        // before any runtime starts sending.
+        let mut book = AddrBook::new();
+        let mut listeners: HashMap<ProcessId, TcpListener> = HashMap::new();
+        for &pid in server_pids.iter().chain(&self.clients) {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            book.insert(pid, l.local_addr()?);
+            listeners.insert(pid, l);
+        }
+        let book = Arc::new(book);
+        let epoch = Instant::now();
+
+        let mut nodes = HashMap::new();
+        for &pid in &server_pids {
+            let l = listeners.remove(&pid).expect("bound above");
+            nodes.insert(
+                pid,
+                NodeRuntime::serve(
+                    pid,
+                    registry.clone(),
+                    book.clone(),
+                    l,
+                    epoch,
+                    Some(&self.objects),
+                )?,
+            );
+        }
+        let mut clients = HashMap::new();
+        for &pid in &self.clients {
+            let mut cfg = ClientConfig::new(c0).with_objects(self.objects.clone());
+            if self.direct_transfer {
+                cfg = cfg.with_direct_transfer();
+            }
+            if let Some(unit) = self.backoff_unit {
+                cfg.backoff_unit = unit;
+            }
+            let l = listeners.remove(&pid).expect("bound above");
+            clients.insert(
+                pid,
+                RemoteClient::serve(pid, registry.clone(), cfg, book.clone(), l, epoch)?,
+            );
+        }
+        Ok(LocalCluster { registry, book, nodes, clients })
+    }
+}
+
+/// A live n-node ARES cluster on loopback TCP, plus its clients.
+pub struct LocalCluster {
+    registry: Arc<ConfigRegistry>,
+    book: Arc<AddrBook>,
+    nodes: HashMap<ProcessId, NodeRuntime>,
+    clients: HashMap<ProcessId, RemoteClient>,
+}
+
+impl LocalCluster {
+    /// Builder entry point.
+    pub fn builder(configs: Vec<Configuration>) -> ClusterBuilder {
+        ClusterBuilder::new(configs)
+    }
+
+    /// Convenience: boots `configs` with the given clients and default
+    /// object 0.
+    pub fn start(
+        configs: Vec<Configuration>,
+        clients: impl IntoIterator<Item = u32>,
+    ) -> io::Result<Self> {
+        ClusterBuilder::new(configs).clients(clients).start()
+    }
+
+    /// The shared configuration registry.
+    pub fn registry(&self) -> &Arc<ConfigRegistry> {
+        &self.registry
+    }
+
+    /// The deployment's address book.
+    pub fn addr_book(&self) -> &Arc<AddrBook> {
+        &self.book
+    }
+
+    /// The client with process id `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not declared as a client.
+    pub fn client(&self, pid: u32) -> &RemoteClient {
+        self.clients.get(&ProcessId(pid)).expect("declared client")
+    }
+
+    /// Server process ids, ascending.
+    pub fn server_pids(&self) -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = self.nodes.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The listener address of server `pid` (e.g. to aim raw hostile
+    /// bytes at it in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn server_addr(&self, pid: u32) -> std::net::SocketAddr {
+        self.nodes.get(&ProcessId(pid)).expect("server pid").local_addr()
+    }
+
+    /// Crash-stops server `pid`: frames and timers are dropped and its
+    /// inbound connections severed until [`LocalCluster::restart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn kill(&self, pid: u32) {
+        self.nodes.get(&ProcessId(pid)).expect("server pid").pause();
+    }
+
+    /// Restarts a killed server with its retained state (a crash whose
+    /// stable storage survived — `ares-sim`'s recover semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn restart(&self, pid: u32) {
+        self.nodes.get(&ProcessId(pid)).expect("server pid").resume();
+    }
+
+    /// Restarts a killed server from *blank* state (lost disk); callers
+    /// normally follow up with [`LocalCluster::trigger_repair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn restart_blank(&self, pid: u32) {
+        let node = self.nodes.get(&ProcessId(pid)).expect("server pid");
+        node.replace(ServerActor::new(ProcessId(pid), self.registry.clone()));
+        node.resume();
+    }
+
+    /// Asks server `pid` to rebuild its coded elements for `(cfg, obj)`
+    /// from live peers (the fragment-repair extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn trigger_repair(&self, pid: u32, cfg: u32, obj: u32) {
+        self.nodes.get(&ProcessId(pid)).expect("server pid").inject(
+            ENV,
+            Msg::Repair(RepairMsg::Trigger { cfg: ConfigId(cfg), obj: ObjectId(obj) }),
+        );
+    }
+
+    /// Tears the whole deployment down.
+    pub fn shutdown(self) {
+        for (_, c) in self.clients {
+            c.shutdown();
+        }
+        for (_, n) in self.nodes {
+            n.shutdown();
+        }
+    }
+}

@@ -54,7 +54,7 @@ mod world;
 pub use metrics::{Metrics, OpMetrics};
 pub use network::{DelayBounds, NetworkConfig};
 pub use trace::{TraceEvent, TraceKind};
-pub use world::{Actor, Ctx, RunOutcome, World};
+pub use world::{Actor, Ctx, HostEffect, RunOutcome, World};
 
 use ares_types::OpId;
 

@@ -42,14 +42,53 @@ pub struct Ctx<'a, M: SimMessage> {
     now: Time,
     tracing: bool,
     rng: &'a mut StdRng,
-    effects: Vec<Effect<M>>,
+    effects: Vec<HostEffect<M>>,
 }
 
-enum Effect<M> {
-    Send { to: ProcessId, msg: M },
-    SetTimer { delay: Time, token: u64 },
+/// One effect buffered by a [`Ctx`] while an actor handler runs.
+///
+/// The simulator applies these internally; the enum is public so that
+/// *external* runtimes (e.g. a real TCP host) can create a detached
+/// context with [`Ctx::detached`], run the very same actors, and apply
+/// the drained effects to real sockets, real timers and a real
+/// completion log.
+#[derive(Debug)]
+pub enum HostEffect<M> {
+    /// Transmit `msg` to `to` over the (simulated or real) channel.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// Wake the actor with `on_timer(token)` after `delay` time units.
+    SetTimer {
+        /// Relative delay.
+        delay: Time,
+        /// Token handed back to `on_timer`.
+        token: u64,
+    },
+    /// A client operation completed.
     Complete(OpCompletion),
+    /// Free-form trace note (dropped unless tracing is enabled).
     Note(String),
+}
+
+impl<'a, M: SimMessage> Ctx<'a, M> {
+    /// Creates a context for hosting an actor *outside* the simulator.
+    ///
+    /// External runtimes build one per delivered event, invoke the actor
+    /// handler, then apply the effects returned by
+    /// [`Ctx::take_effects`]. `now` is whatever clock the host maintains
+    /// (the actors only ever compare and stamp it).
+    pub fn detached(pid: ProcessId, now: Time, rng: &'a mut StdRng) -> Self {
+        Ctx { pid, now, tracing: false, rng, effects: Vec::new() }
+    }
+
+    /// Drains the effects buffered so far, in emission order.
+    pub fn take_effects(&mut self) -> Vec<HostEffect<M>> {
+        std::mem::take(&mut self.effects)
+    }
 }
 
 impl<M: SimMessage> Ctx<'_, M> {
@@ -72,7 +111,7 @@ impl<M: SimMessage> Ctx<'_, M> {
 
     /// Sends `msg` to `to` over the asynchronous reliable channel.
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+        self.effects.push(HostEffect::Send { to, msg });
     }
 
     /// Broadcasts `msg` to every process in `targets`.
@@ -84,12 +123,12 @@ impl<M: SimMessage> Ctx<'_, M> {
 
     /// Schedules `on_timer(token)` to fire after `delay` time units.
     pub fn set_timer(&mut self, delay: Time, token: u64) {
-        self.effects.push(Effect::SetTimer { delay, token });
+        self.effects.push(HostEffect::SetTimer { delay, token });
     }
 
     /// Reports a completed client operation into the execution history.
     pub fn complete(&mut self, completion: OpCompletion) {
-        self.effects.push(Effect::Complete(completion));
+        self.effects.push(HostEffect::Complete(completion));
     }
 
     /// Whether structured tracing is enabled (lets actors skip building
@@ -101,7 +140,7 @@ impl<M: SimMessage> Ctx<'_, M> {
     /// Emits a free-form trace note (dropped unless tracing is enabled).
     pub fn note(&mut self, text: impl Into<String>) {
         if self.tracing {
-            self.effects.push(Effect::Note(text.into()));
+            self.effects.push(HostEffect::Note(text.into()));
         }
     }
 }
@@ -371,10 +410,10 @@ impl<M: SimMessage> World<M> {
         self.apply_effects(pid, effects);
     }
 
-    fn apply_effects(&mut self, pid: ProcessId, effects: Vec<Effect<M>>) {
+    fn apply_effects(&mut self, pid: ProcessId, effects: Vec<HostEffect<M>>) {
         for e in effects {
             match e {
-                Effect::Send { to, msg } => {
+                HostEffect::Send { to, msg } => {
                     let bounds = self.net.bounds_for(msg.op().map(|o| o.client));
                     let delay = bounds.sample(&mut self.rng);
                     self.metrics.record_send(msg.op(), msg.payload_bytes());
@@ -397,7 +436,7 @@ impl<M: SimMessage> World<M> {
                         kind: EventKind::Deliver { from: pid, to, msg },
                     }));
                 }
-                Effect::SetTimer { delay, token } => {
+                HostEffect::SetTimer { delay, token } => {
                     let at = self.now + delay;
                     let seq = self.next_seq();
                     self.queue.push(Reverse(Event {
@@ -406,13 +445,13 @@ impl<M: SimMessage> World<M> {
                         kind: EventKind::Timer { pid, token },
                     }));
                 }
-                Effect::Complete(mut c) => {
+                HostEffect::Complete(mut c) => {
                     let m = self.metrics.op(c.op);
                     c.messages = m.messages;
                     c.payload_bytes = m.payload_bytes;
                     self.completions.push(c);
                 }
-                Effect::Note(text) => {
+                HostEffect::Note(text) => {
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEvent { at: self.now, kind: TraceKind::Note { pid, text } });
                     }

@@ -8,57 +8,50 @@
 //! store from replication to erasure coding mid-run, and audits the
 //! final state.
 //!
+//! Two deployment modes share the same workload and the same actors:
+//!
 //! ```text
-//! cargo run -p ares-harness --example kv_store
+//! cargo run --example kv_store          # deterministic simulator
+//! cargo run --example kv_store -- --net # live loopback TCP cluster
 //! ```
 
 use ares_harness::{check_atomicity, Scenario};
-use ares_types::{ConfigId, Configuration, ObjectId, OpKind, ProcessId, Value};
+use ares_net::testing::LocalCluster;
+use ares_types::{ConfigId, Configuration, ObjectId, OpCompletion, OpKind, ProcessId, Value};
 use std::collections::HashMap;
 
 const KEYS: u32 = 8;
 
-fn main() {
-    let c0 = Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect());
-    let c1 = Configuration::treas(ConfigId(1), (1..=6).map(ProcessId).collect(), 4, 2);
+fn universe() -> Vec<Configuration> {
+    vec![
+        Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect()),
+        Configuration::treas(ConfigId(1), (1..=6).map(ProcessId).collect(), 4, 2),
+    ]
+}
 
-    let mut s = Scenario::new(vec![c0, c1]).clients([100, 101, 110, 200]).seed(31);
-
-    // Phase 1: populate all keys ("accounts") with initial balances.
+/// Digest of the value each key must hold at the end: phase-1 seeds,
+/// overwritten by the phase-2 writes of client 101.
+fn expectations() -> HashMap<u32, u64> {
     let mut expected: HashMap<u32, u64> = HashMap::new();
     for key in 0..KEYS {
-        let seed = 1_000 + key as u64;
-        s = s.write_at(key as u64 * 50, 100, key, Value::filler(32, seed));
-        expected.insert(key, Value::filler(32, seed).digest());
+        expected.insert(key, Value::filler(32, 1_000 + key as u64).digest());
     }
-    // Phase 2: concurrent updates from a second writer + audits from a
-    // reader, while the store migrates to erasure coding.
-    s = s.recon_at(3_000, 200, 1);
     for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
-        let t = 2_500 + i as u64 * 220;
         if i % 2 == 0 {
-            let seed = 2_000 + i as u64;
-            s = s.write_at(t, 101, key, Value::filler(32, seed));
-            expected.insert(key, Value::filler(32, seed).digest());
-        } else {
-            s = s.read_at(t, 110, key);
+            expected.insert(key, Value::filler(32, 2_000 + i as u64).digest());
         }
     }
-    // Phase 3: final audit of every key.
-    for key in 0..KEYS {
-        s = s.read_at(20_000 + key as u64 * 100, 110, key);
-    }
+    expected
+}
 
-    let res = s.run();
-    check_atomicity(&res.completions).assert_atomic();
-
-    println!("=== kv_store: {} keys over one reconfigurable fleet ===\n", KEYS);
-    let final_reads: HashMap<u32, u64> = res
-        .completions
+fn audit(completions: &[OpCompletion], expected: &HashMap<u32, u64>, mode: &str) {
+    check_atomicity(completions).assert_atomic();
+    println!("=== kv_store ({mode}): {KEYS} keys over one reconfigurable fleet ===\n");
+    let final_reads: HashMap<u32, u64> = completions
         .iter()
-        .filter(|c| c.kind == OpKind::Read && c.invoked_at >= 20_000)
+        .filter(|c| c.kind == OpKind::Read)
         .map(|c| (c.obj.0, c.value_digest.unwrap()))
-        .collect();
+        .collect(); // later entries win: the audit reads come last per key
     let mut ok = 0;
     for key in 0..KEYS {
         // Phase-2 writes may interleave with phase-1 per real-time order,
@@ -74,10 +67,100 @@ fn main() {
         }
     }
     assert_eq!(ok, KEYS, "every key's audit matches the last write");
+    println!("\n{} operations, history atomic per key ✓ (migration included)", completions.len());
+}
 
-    let _ = ObjectId(0); // (ObjectId is the key type used throughout)
-    println!(
-        "\n{} operations, history atomic per key ✓ (migration included)",
-        res.completions.len()
-    );
+/// The original deterministic-simulator deployment.
+fn run_sim() {
+    let mut s = Scenario::new(universe()).clients([100, 101, 110, 200]).seed(31);
+
+    // Phase 1: populate all keys ("accounts") with initial balances.
+    for key in 0..KEYS {
+        s = s.write_at(key as u64 * 50, 100, key, Value::filler(32, 1_000 + key as u64));
+    }
+    // Phase 2: concurrent updates from a second writer + audits from a
+    // reader, while the store migrates to erasure coding.
+    s = s.recon_at(3_000, 200, 1);
+    for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
+        let t = 2_500 + i as u64 * 220;
+        if i % 2 == 0 {
+            s = s.write_at(t, 101, key, Value::filler(32, 2_000 + i as u64));
+        } else {
+            s = s.read_at(t, 110, key);
+        }
+    }
+    // Phase 3: final audit of every key.
+    for key in 0..KEYS {
+        s = s.read_at(20_000 + key as u64 * 100, 110, key);
+    }
+
+    let res = s.run();
+    audit(&res.completions, &expectations(), "simulator");
+}
+
+/// The same workload over a live loopback TCP cluster: the identical
+/// `ServerActor`/`ClientActor` state machines, hosted by `ares-net`
+/// instead of the simulator.
+fn run_net() {
+    let cluster = LocalCluster::builder(universe())
+        .clients([100, 101, 110, 200])
+        .objects(0..KEYS)
+        .start()
+        .expect("cluster boots on loopback");
+
+    let mut history: Vec<OpCompletion> = Vec::new();
+    // Phase 1: populate all keys.
+    for key in 0..KEYS {
+        history
+            .push(cluster.client(100).write(ObjectId(key), Value::filler(32, 1_000 + key as u64)));
+    }
+    // Phase 2: concurrent updates and audits while the store migrates
+    // from ABD replication to a TREAS [6,4] code.
+    let (recon, phase2w, phase2r) = std::thread::scope(|s| {
+        let recon = s.spawn(|| cluster.client(200).reconfig(ConfigId(1)));
+        let writer = s.spawn(|| {
+            let mut out = Vec::new();
+            for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
+                if i % 2 == 0 {
+                    out.push(
+                        cluster
+                            .client(101)
+                            .write(ObjectId(key), Value::filler(32, 2_000 + i as u64)),
+                    );
+                }
+            }
+            out
+        });
+        let reader = s.spawn(|| {
+            let mut out = Vec::new();
+            for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
+                if i % 2 == 1 {
+                    out.push(cluster.client(110).read(ObjectId(key)));
+                }
+            }
+            out
+        });
+        (
+            recon.join().expect("reconfigurer"),
+            writer.join().expect("writer"),
+            reader.join().expect("reader"),
+        )
+    });
+    history.push(recon);
+    history.extend(phase2w);
+    history.extend(phase2r);
+    // Phase 3: final audit of every key (strictly after phase 2).
+    for key in 0..KEYS {
+        history.push(cluster.client(110).read(ObjectId(key)));
+    }
+    cluster.shutdown();
+    audit(&history, &expectations(), "loopback TCP");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--net") {
+        run_net();
+    } else {
+        run_sim();
+    }
 }

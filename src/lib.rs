@@ -12,6 +12,7 @@
 //! | [`consensus`] | `ares-consensus` | single-decree Paxos (`c.Con`) |
 //! | [`dap`] | `ares-dap` | get-tag / get-data / put-data; ABD, TREAS, LDR |
 //! | [`core`] | `ares-core` | the ARES client/server actors and reconfiguration |
+//! | [`net`] | `ares-net` | real TCP runtime: wire codec, node/client hosts, loopback clusters |
 //! | [`harness`] | `ares-harness` | scenarios, workloads, atomicity checkers |
 //! | [`bench`] | `ares-bench` | experiment rigs shared by the `exp_*` binaries |
 //!
@@ -24,6 +25,7 @@ pub use ares_consensus as consensus;
 pub use ares_core as core;
 pub use ares_dap as dap;
 pub use ares_harness as harness;
+pub use ares_net as net;
 pub use ares_sim as sim;
 pub use ares_types as types;
 
