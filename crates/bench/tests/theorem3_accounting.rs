@@ -1,0 +1,87 @@
+//! Pins the Theorem 3 cost accounting to its pre-refactor values.
+//!
+//! The Arc-backed byte refactor made fragments *views* of shared
+//! allocations (a systematic fragment references the writer's whole
+//! value buffer; a decoded fragment references its wire frame). The
+//! paper's storage and communication costs are defined over **logical
+//! payload bytes** — `exp_storage` (E1) and `exp_comm` (E2) must keep
+//! reporting exactly those, never the size of the shared allocations
+//! the views pin. These tests freeze the E1/E2 numbers for the paper's
+//! running example so any future accounting drift fails loudly.
+
+use ares_bench::StaticRig;
+use ares_types::{ConfigId, Configuration, OpKind, ProcessId};
+
+/// Value size divisible by k = 3 so the theorem formulas are exact
+/// (no `ceil` padding slack).
+const VALUE_SIZE: usize = 9 * 1024;
+
+fn treas_rig(n: usize, k: usize, delta: usize) -> StaticRig {
+    let cfg = Configuration::treas(ConfigId(0), (1..=n as u32).map(ProcessId).collect(), k, delta);
+    StaticRig::new(cfg, 1, 1, 10, 30, 42)
+}
+
+#[test]
+fn e1_storage_counts_logical_bytes_exactly() {
+    // E1 on TREAS [5, 3], δ = 2: saturate every list, then total
+    // storage must be exactly (δ+1) · n/k · |v| bytes — each server
+    // holds δ+1 coded elements of |v|/k bytes, regardless of how many
+    // bytes the backing allocations share.
+    let (n, k, delta) = (5usize, 3usize, 2usize);
+    let mut rig = treas_rig(n, k, delta);
+    for i in 0..(2 * (delta + 1)) as u64 {
+        rig.write(i * 10_000, 0, VALUE_SIZE, i + 1);
+    }
+    let h = rig.run();
+    assert_eq!(h.len(), 2 * (delta + 1), "all writes complete");
+    let expected = ((delta + 1) * n * (VALUE_SIZE / k)) as u64;
+    assert_eq!(
+        rig.total_storage(),
+        expected,
+        "storage must be (δ+1)·n·|v|/k logical bytes (Theorem 3(i))"
+    );
+    assert_eq!(
+        rig.max_server_storage(),
+        ((delta + 1) * (VALUE_SIZE / k)) as u64,
+        "per-server storage is (δ+1)·|v|/k"
+    );
+}
+
+#[test]
+fn e2_comm_counts_logical_bytes_exactly() {
+    // E2 on TREAS [5, 3], δ = 2: a write transmits exactly n fragments
+    // of |v|/k bytes = n/k · |v| payload; a read stays within
+    // (δ+2) · n/k · |v| (Theorem 3(ii)/(iii)).
+    let (n, k, delta) = (5usize, 3usize, 2usize);
+    let mut rig = treas_rig(n, k, delta);
+    for i in 0..(delta + 1) as u64 {
+        rig.write(i * 10_000, 0, VALUE_SIZE, i + 1);
+    }
+    let t0 = (delta as u64 + 1) * 10_000;
+    rig.write(t0, 0, VALUE_SIZE, 999);
+    rig.read(t0 + 10_000, 0);
+    let h = rig.run();
+
+    let wr = h
+        .iter()
+        .filter(|c| c.kind == OpKind::Write)
+        .max_by_key(|c| c.invoked_at)
+        .expect("measured write");
+    assert_eq!(
+        wr.payload_bytes,
+        (n * (VALUE_SIZE / k)) as u64,
+        "write communication is exactly n·|v|/k logical bytes (Theorem 3(ii))"
+    );
+
+    let rd = h.iter().find(|c| c.kind == OpKind::Read).expect("measured read");
+    let read_bound = ((delta + 2) * n * (VALUE_SIZE / k)) as u64;
+    assert!(
+        rd.payload_bytes <= read_bound,
+        "read communication {} exceeds (δ+2)·n·|v|/k = {read_bound}",
+        rd.payload_bytes
+    );
+    assert!(
+        rd.payload_bytes >= (n * (VALUE_SIZE / k)) as u64,
+        "read must move at least the saturated lists' worth of payload"
+    );
+}

@@ -85,6 +85,23 @@ impl Fragment {
     pub fn storage_bytes(&self) -> usize {
         self.data.len()
     }
+
+    /// Returns this fragment with its data in a tight allocation of its
+    /// own. Zero-copy encoding hands out fragments that *view* a larger
+    /// shared buffer (the value being encoded, or a received wire
+    /// frame); a holder that retains one fragment long-term — repair
+    /// and state-transfer re-encodes store a single rebuilt element
+    /// into the server `List` — calls this so the store does not pin
+    /// the whole backing allocation. A no-op when the data already owns
+    /// its allocation.
+    #[must_use]
+    pub fn compacted(self) -> Fragment {
+        if self.data.backing_len() > self.data.len() {
+            Fragment { data: Bytes::copy_from_slice(&self.data), ..self }
+        } else {
+            self
+        }
+    }
 }
 
 /// Errors produced by encoding/decoding.
@@ -149,6 +166,19 @@ pub trait ErasureCode: fmt::Debug + Send + Sync {
     /// Encodes `value` into `n` fragments (`Φ(v) = [c_1, .., c_n]`).
     fn encode(&self, value: &[u8]) -> Vec<Fragment>;
 
+    /// Encodes a value already held in a shared buffer. Implementations
+    /// that can (Reed-Solomon systematic shards, replication copies)
+    /// emit fragments as **zero-copy views of `value`'s own
+    /// allocation**, so a `put-data` fan-out of a large value performs
+    /// no deep copy at all. The default falls back to [`encode`].
+    ///
+    /// Note the views keep `value`'s allocation alive for as long as a
+    /// fragment is retained (in-process stores; the wire codec
+    /// re-materializes fragments from frame buffers on receive).
+    fn encode_value(&self, value: &Bytes) -> Vec<Fragment> {
+        self.encode(value)
+    }
+
     /// Reconstructs the value from at least `k` distinct fragments.
     ///
     /// # Errors
@@ -159,10 +189,12 @@ pub trait ErasureCode: fmt::Debug + Send + Sync {
 
     /// Encodes and returns only the fragment for position `index`
     /// (`Φ_i(v)`); a convenience for server-side re-encoding in the
-    /// ARES-TREAS transfer protocol.
+    /// ARES-TREAS transfer and repair protocols. The result is
+    /// [`Fragment::compacted`]: callers store it long-term, so it must
+    /// not pin the other shards of the encode.
     fn encode_fragment(&self, value: &[u8], index: usize) -> Fragment {
         let mut frags = self.encode(value);
-        frags.swap_remove(index)
+        frags.swap_remove(index).compacted()
     }
 }
 
@@ -207,6 +239,27 @@ mod tests {
         let all = code.encode(&v);
         for (i, frag) in all.iter().enumerate() {
             assert_eq!(&code.encode_fragment(&v, i), frag);
+        }
+    }
+
+    #[test]
+    fn encode_fragment_is_compacted_for_long_term_storage() {
+        // Systematic indices of a zero-copy encode view the whole
+        // shard buffer; the single-fragment convenience used by
+        // repair/state-transfer stores must not pin it.
+        for params in [CodeParams { n: 5, k: 3 }, CodeParams { n: 3, k: 1 }] {
+            let code = build_code(params).unwrap();
+            let v = vec![7u8; 3 * 64];
+            for i in 0..params.n {
+                let f = code.encode_fragment(&v, i);
+                assert_eq!(
+                    f.data.backing_len(),
+                    f.data.len(),
+                    "fragment {i} of {params} pins {} bytes for {} stored",
+                    f.data.backing_len(),
+                    f.data.len()
+                );
+            }
         }
     }
 

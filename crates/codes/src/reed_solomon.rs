@@ -67,17 +67,17 @@ impl ReedSolomon {
     fn shard_len(&self, value_len: usize) -> usize {
         value_len.div_ceil(self.params.k).max(1)
     }
-}
 
-impl ErasureCode for ReedSolomon {
-    fn params(&self) -> CodeParams {
-        self.params
-    }
-
-    fn encode(&self, value: &[u8]) -> Vec<Fragment> {
+    /// The seed's dense encoder, retained as a differential-testing
+    /// oracle for [`ErasureCode::encode`] and as the "before" leg of the
+    /// loadgen wire-path A/B benchmark: it runs the log/antilog kernel
+    /// ([`crate::gf256::mul_add_slice_ref`]) over **all** `n` generator
+    /// rows — including the systematic identity rows the optimized
+    /// encoder emits as zero-copy slices — and gives every fragment its
+    /// own allocation.
+    pub fn encode_dense(&self, value: &[u8]) -> Vec<Fragment> {
         let CodeParams { n, k } = self.params;
         let shard = self.shard_len(value.len());
-        // Stripe the (zero-padded) value into k data shards.
         let mut padded = vec![0u8; shard * k];
         padded[..value.len()].copy_from_slice(value);
         let shards: Vec<&[u8]> = padded.chunks(shard).collect();
@@ -87,7 +87,57 @@ impl ErasureCode for ReedSolomon {
             let row = self.generator.row(i);
             let mut coded = vec![0u8; shard];
             for (j, s) in shards.iter().enumerate() {
-                crate::gf256::mul_add_slice(&mut coded, s, row[j]);
+                crate::gf256::mul_add_slice_ref(&mut coded, s, row[j]);
+            }
+            out.push(Fragment { index: i, value_len: value.len(), data: Bytes::from(coded) });
+        }
+        out
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn encode(&self, value: &[u8]) -> Vec<Fragment> {
+        self.encode_value(&Bytes::copy_from_slice(value))
+    }
+
+    /// Systematic zero-copy encode: the leading *full* data shards are
+    /// slices of `value`'s own allocation (no GF work, no copy); only
+    /// the final partial shard is copied into a small zero-padded tail
+    /// buffer, and only the `n - k` parity rows run the GF kernel.
+    fn encode_value(&self, value: &Bytes) -> Vec<Fragment> {
+        let CodeParams { n, k } = self.params;
+        let shard = self.shard_len(value.len());
+        // Shards 0..full lie entirely within `value`; shards full..k
+        // (the remainder plus zero padding) share one small tail buffer.
+        let full = (value.len() / shard).min(k);
+        let tail = if full == k {
+            Bytes::new()
+        } else {
+            let mut t = vec![0u8; (k - full) * shard];
+            t[..value.len() - full * shard].copy_from_slice(&value[full * shard..]);
+            Bytes::from(t)
+        };
+        let shard_at = |j: usize| -> Bytes {
+            if j < full {
+                value.slice(j * shard..(j + 1) * shard)
+            } else {
+                tail.slice((j - full) * shard..(j - full + 1) * shard)
+            }
+        };
+
+        let mut out = Vec::with_capacity(n);
+        for j in 0..k {
+            out.push(Fragment { index: j, value_len: value.len(), data: shard_at(j) });
+        }
+        for i in k..n {
+            let row = self.generator.row(i);
+            let mut coded = vec![0u8; shard];
+            for (j, c) in row.iter().enumerate() {
+                crate::gf256::mul_add_slice(&mut coded, &shard_at(j), *c);
             }
             out.push(Fragment { index: i, value_len: value.len(), data: Bytes::from(coded) });
         }
@@ -183,6 +233,70 @@ mod tests {
         for (j, f) in frags.iter().take(4).enumerate() {
             assert_eq!(&f.data[..], &value[j * 10..(j + 1) * 10], "shard {j}");
         }
+    }
+
+    #[test]
+    fn encode_matches_dense_reference() {
+        for (n, k) in [(5usize, 3usize), (6, 4), (9, 5), (4, 2), (1, 1), (7, 7)] {
+            let code = ReedSolomon::new(n, k).unwrap();
+            for len in [0usize, 1, 7, 40, 101] {
+                let value = sample_value(len);
+                let fast = code.encode(&value);
+                let dense = code.encode_dense(&value);
+                assert_eq!(fast, dense, "n={n} k={k} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_fragments_share_one_allocation() {
+        let code = ReedSolomon::new(5, 3).unwrap();
+        let frags = code.encode(&sample_value(99));
+        for f in &frags[1..3] {
+            assert!(
+                Bytes::shares_allocation(&frags[0].data, &f.data),
+                "systematic fragment {} must be a zero-copy slice",
+                f.index
+            );
+        }
+        for f in &frags[3..] {
+            assert!(
+                !Bytes::shares_allocation(&frags[0].data, &f.data),
+                "parity fragment {} has its own buffer",
+                f.index
+            );
+        }
+    }
+
+    #[test]
+    fn encode_value_borrows_the_value_allocation() {
+        let code = ReedSolomon::new(5, 3).unwrap();
+        // 99 = 3 full shards of 33: every systematic fragment is a view
+        // of the value itself.
+        let value = Bytes::from(sample_value(99));
+        let frags = code.encode_value(&value);
+        for f in &frags[..3] {
+            assert!(
+                Bytes::shares_allocation(&value, &f.data),
+                "fragment {} must view the value",
+                f.index
+            );
+        }
+        assert_eq!(frags, code.encode_dense(&value));
+
+        // 100 bytes: shards of 34 — fragments 0..2 view the value, the
+        // padded tail shard is copied.
+        let value = Bytes::from(sample_value(100));
+        let frags = code.encode_value(&value);
+        assert!(Bytes::shares_allocation(&value, &frags[0].data));
+        assert!(Bytes::shares_allocation(&value, &frags[1].data));
+        assert!(!Bytes::shares_allocation(&value, &frags[2].data));
+        assert_eq!(frags, code.encode_dense(&value));
+
+        // tiny value, k=3: shard=1, only zero-padded tail shards.
+        let value = Bytes::from(vec![7u8]);
+        let frags = code.encode_value(&value);
+        assert_eq!(frags, code.encode_dense(&value));
     }
 
     #[test]

@@ -49,9 +49,14 @@ impl ErasureCode for Replication {
     }
 
     fn encode(&self, value: &[u8]) -> Vec<Fragment> {
-        let data = Bytes::copy_from_slice(value);
+        self.encode_value(&Bytes::copy_from_slice(value))
+    }
+
+    /// Replication of a shared buffer is pure refcounting: every
+    /// fragment is a zero-copy view of `value`'s allocation.
+    fn encode_value(&self, value: &Bytes) -> Vec<Fragment> {
         (0..self.n)
-            .map(|index| Fragment { index, value_len: value.len(), data: data.clone() })
+            .map(|index| Fragment { index, value_len: value.len(), data: value.clone() })
             .collect()
     }
 

@@ -153,7 +153,9 @@ impl DapCall {
         let hdr = self.hdr();
         let code = build_code(self.ctx.cfg.code_params())
             .expect("configuration carries valid code parameters");
-        let frags = code.encode(tv.value.as_bytes());
+        // Zero-copy fan-out: systematic fragments are views of the
+        // value's own allocation (see `ErasureCode::encode_value`).
+        let frags = code.encode_value(tv.value.bytes());
         Step::sends(
             self.ctx
                 .cfg
@@ -638,6 +640,46 @@ mod tests {
         let tv = treas_evaluate(&lists, 3, &cfg).expect("now decodable");
         assert_eq!(tv.tag, t1);
         assert_eq!(tv.value, Value::filler(30, 1));
+    }
+
+    #[test]
+    fn put_broadcast_performs_zero_deep_value_copies() {
+        let reg = registry();
+        let mut rpc = 0;
+        // ABD put: every per-target message views the one value buffer.
+        let cfg = reg.get(ConfigId(0)).clone();
+        let v = Value::filler(1 << 20, 9);
+        let ctx = DapCtx::new(cfg, ObjectId(0), ProcessId(9), op());
+        let t = Tag::new(1, ProcessId(9));
+        let (_call, step) =
+            DapCall::start(ctx, DapAction::PutData(TagValue::new(t, v.clone())), &mut rpc);
+        assert_eq!(step.sends.len(), 3);
+        for (_, m) in &step.sends {
+            let DapBody::AbdWrite(_, val) = &m.body else { panic!("expected AbdWrite") };
+            assert!(
+                bytes::Bytes::shares_allocation(v.bytes(), val.bytes()),
+                "broadcast must not deep-copy the value"
+            );
+        }
+
+        // TREAS put: the systematic fragments of the fan-out are
+        // zero-copy views of the value's own allocation (full shards);
+        // only padding-tail and parity fragments own buffers.
+        let cfg = reg.get(ConfigId(1)).clone(); // [5, 3]
+        let len = 3 * 4096; // divisible by k: all systematic shards full
+        let v = Value::filler(len, 10);
+        let ctx = DapCtx::new(cfg, ObjectId(0), ProcessId(9), op());
+        let (_call, step) =
+            DapCall::start(ctx, DapAction::PutData(TagValue::new(t, v.clone())), &mut rpc);
+        assert_eq!(step.sends.len(), 5);
+        let mut shared = 0;
+        for (_, m) in &step.sends {
+            let DapBody::TreasWrite(_, f) = &m.body else { panic!("expected TreasWrite") };
+            if bytes::Bytes::shares_allocation(v.bytes(), &f.data) {
+                shared += 1;
+            }
+        }
+        assert_eq!(shared, 3, "all k systematic fragments view the value allocation");
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! `loadgen` — the throughput/latency experiment (E13 in
+//! `EXPERIMENTS.md`): runs the wire-path before/after A/B plus
+//! closed-loop workloads over the simulator and a live loopback
+//! cluster, checks every history for atomicity, prints a summary table
+//! and writes `BENCH_throughput.json` (schema documented in README).
+//!
+//! Usage: `cargo run --release -p ares-loadgen --bin loadgen --
+//! [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks every dimension for CI smoke runs (a few seconds);
+//! the default sizing targets a laptop-scale minute.
+
+use ares_loadgen::json::JsonWriter;
+use ares_loadgen::wirebench::{abd_write_pipeline, treas_write_pipeline, AbResult};
+use ares_loadgen::{run_cluster, run_sim, LatencyHistogram, LoadReport, LoadSpec};
+use ares_types::{ConfigId, Configuration, ProcessId};
+
+struct Workload {
+    name: &'static str,
+    spec: LoadSpec,
+    configs: fn() -> Vec<Configuration>,
+}
+
+fn treas53() -> Vec<Configuration> {
+    vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)]
+}
+
+fn abd3() -> Vec<Configuration> {
+    vec![Configuration::abd(ConfigId(0), (1..=3).map(ProcessId).collect())]
+}
+
+fn hist_json(w: &mut JsonWriter, key: &str, h: &LatencyHistogram) {
+    let (p50, p99, p999) = h.percentiles();
+    w.begin_object_key(key);
+    w.u64("count", h.count());
+    w.f64("mean_us", h.mean());
+    w.u64("p50_us", p50);
+    w.u64("p99_us", p99);
+    w.u64("p999_us", p999);
+    w.u64("max_us", h.max());
+    w.end_object();
+}
+
+fn report_json(w: &mut JsonWriter, name: &str, spec: &LoadSpec, r: &LoadReport) {
+    w.begin_object();
+    w.string("workload", name);
+    w.u64("clients", spec.clients as u64);
+    w.u64("objects", spec.objects as u64);
+    w.u64("value_bytes", spec.value_size as u64);
+    w.u64("read_percent", spec.read_percent as u64);
+    w.u64("ops", r.ops);
+    w.u64("reads", r.reads);
+    w.u64("writes", r.writes);
+    w.f64("elapsed_secs", r.elapsed_secs);
+    w.f64("ops_per_sec", r.ops_per_sec);
+    w.f64("value_mib_per_sec", r.value_mib_per_sec);
+    hist_json(w, "read_latency", &r.read_hist);
+    hist_json(w, "write_latency", &r.write_hist);
+    w.end_object();
+}
+
+fn ab_json(w: &mut JsonWriter, r: &AbResult) {
+    w.begin_object();
+    w.string("pipeline", r.name);
+    w.u64("value_bytes", r.value_bytes as u64);
+    w.u64("n", r.code.n as u64);
+    w.u64("k", r.code.k as u64);
+    for (key, leg) in [("before", &r.before), ("after", &r.after)] {
+        w.begin_object_key(key);
+        w.string("label", leg.label);
+        w.u64("iters", leg.iters as u64);
+        w.f64("per_op_ms", leg.per_op_ms);
+        w.f64("value_mib_per_sec", leg.mib_per_sec);
+        w.end_object();
+    }
+    w.f64("speedup", r.speedup());
+    w.end_object();
+}
+
+fn print_report(kind: &str, name: &str, r: &LoadReport) {
+    let (rp50, rp99, _) = r.read_hist.percentiles();
+    let (wp50, wp99, _) = r.write_hist.percentiles();
+    println!(
+        "{kind:>7} {name:<24} {:>7} ops {:>9.1} op/s {:>8.1} MiB/s  r p50/p99 {rp50}/{rp99} µs  w p50/p99 {wp50}/{wp99} µs",
+        r.ops, r.ops_per_sec, r.value_mib_per_sec
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    println!("# loadgen (quick={quick}) — closed-loop throughput + wire-path A/B\n");
+
+    // ---- wire-path before/after (the PR's headline number) ----------
+    let mib = 1 << 20;
+    let (ab_iters, cluster_mb_ops, sim_ops, small_ops) =
+        if quick { (6, 6, 10, 20) } else { (30, 25, 40, 120) };
+    let treas_ab = treas_write_pipeline(mib, 5, 3, ab_iters);
+    let abd_ab = abd_write_pipeline(mib, 3, ab_iters);
+    for r in [&treas_ab, &abd_ab] {
+        println!(
+            "wire A/B {:<12} [{},{}] {:>4} KiB: before {:.3} ms/op, after {:.3} ms/op → {:.2}×",
+            r.name,
+            r.code.n,
+            r.code.k,
+            r.value_bytes / 1024,
+            r.before.per_op_ms,
+            r.after.per_op_ms,
+            r.speedup()
+        );
+    }
+
+    // ---- closed-loop workloads --------------------------------------
+    let workloads = [
+        Workload {
+            name: "treas53_1mib_writes",
+            spec: LoadSpec {
+                clients: 4,
+                objects: 2,
+                value_size: mib,
+                read_percent: 0,
+                ops_per_client: cluster_mb_ops,
+                seed: 11,
+            },
+            configs: treas53,
+        },
+        Workload {
+            name: "treas53_64k_mixed",
+            spec: LoadSpec {
+                clients: 4,
+                objects: 4,
+                value_size: 64 * 1024,
+                read_percent: 50,
+                ops_per_client: small_ops,
+                seed: 12,
+            },
+            configs: treas53,
+        },
+        Workload {
+            name: "abd_64k_mixed",
+            spec: LoadSpec {
+                clients: 4,
+                objects: 4,
+                value_size: 64 * 1024,
+                read_percent: 50,
+                ops_per_client: small_ops,
+                seed: 13,
+            },
+            configs: abd3,
+        },
+    ];
+
+    println!();
+    let mut cluster_rows: Vec<(&'static str, LoadSpec, LoadReport)> = Vec::new();
+    for wl in &workloads {
+        let r = run_cluster(&wl.spec, (wl.configs)()).expect("cluster bring-up");
+        r.assert_atomic();
+        print_report("cluster", wl.name, &r);
+        cluster_rows.push((wl.name, wl.spec.clone(), r));
+    }
+
+    let sim_spec = LoadSpec {
+        clients: 4,
+        objects: 4,
+        value_size: 16 * 1024,
+        read_percent: 50,
+        ops_per_client: sim_ops,
+        seed: 14,
+    };
+    let sim_report = run_sim(&sim_spec, treas53());
+    sim_report.assert_atomic();
+    print_report("sim", "treas53_16k_mixed", &sim_report);
+
+    // ---- emit BENCH_throughput.json ---------------------------------
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.string("schema", "ares-bench-throughput/v1");
+    w.string("mode", if quick { "quick" } else { "full" });
+    w.begin_array_key("wire_path_ab");
+    ab_json(&mut w, &treas_ab);
+    ab_json(&mut w, &abd_ab);
+    w.end_array();
+    w.begin_array_key("cluster");
+    for (name, spec, r) in &cluster_rows {
+        report_json(&mut w, name, spec, r);
+    }
+    w.end_array();
+    w.begin_array_key("sim");
+    report_json(&mut w, "treas53_16k_mixed", &sim_spec, &sim_report);
+    w.end_array();
+    w.end_object();
+    std::fs::write(&out_path, w.finish() + "\n").expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    // The acceptance gate of the PR: the 1 MiB TREAS [5,3] write
+    // pipeline must be measurably faster than the seed's. Enforced in
+    // the full run; quick CI runs only report.
+    if !quick {
+        assert!(
+            treas_ab.speedup() >= 1.5,
+            "TREAS [5,3] 1 MiB write pipeline regressed: {:.2}×",
+            treas_ab.speedup()
+        );
+    }
+    println!(
+        "every history atomic ✓; TREAS 1 MiB write pipeline speedup {:.2}×",
+        treas_ab.speedup()
+    );
+}

@@ -1,0 +1,158 @@
+//! A tiny hand-rolled JSON writer (the workspace's vendored `serde` is
+//! an API stand-in without a real serializer). Only what the bench
+//! report needs: objects, arrays, strings, numbers.
+
+/// Builds a JSON document incrementally with correct comma placement.
+pub struct JsonWriter {
+    out: String,
+    /// Stack of "does the current scope already have an entry".
+    scopes: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter { out: String::new(), scopes: Vec::new() }
+    }
+
+    fn comma(&mut self) {
+        if let Some(has) = self.scopes.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        self.push_string(k);
+        self.out.push(':');
+        // the value that follows is not a sibling entry
+        if let Some(has) = self.scopes.last_mut() {
+            *has = true;
+        }
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\t' => self.out.push_str("\\t"),
+                '\r' => self.out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens the root object or an array-element object.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('{');
+        self.scopes.push(false);
+        self
+    }
+
+    /// Opens an object under `key`.
+    pub fn begin_object_key(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('{');
+        self.scopes.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.scopes.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array under `key`.
+    pub fn begin_array_key(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        self.scopes.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.scopes.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes `key: "value"`.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.push_string(value);
+        self
+    }
+
+    /// Writes `key: value` for an integer.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// Writes `key: value` for a float (3 decimal places; non-finite
+    /// values become `null`).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value:.3}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.string("name", "x\"y");
+        w.u64("n", 7);
+        w.begin_object_key("inner");
+        w.f64("r", 1.5);
+        w.end_object();
+        w.begin_array_key("rows");
+        w.begin_object();
+        w.u64("a", 1);
+        w.end_object();
+        w.begin_object();
+        w.u64("a", 2);
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"x\"y","n":7,"inner":{"r":1.500},"rows":[{"a":1},{"a":2}]}"#
+        );
+    }
+}

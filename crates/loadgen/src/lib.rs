@@ -1,0 +1,281 @@
+//! Closed-loop load generation for the ARES reproduction.
+//!
+//! The TREAS cost theorems (E1/E2) pin *what* the protocols transmit and
+//! store; this crate pins *how fast* the implementation moves it. It
+//! drives closed-loop, multi-client, multi-object read/write-mix
+//! workloads over two backends —
+//!
+//! * [`run_sim`] — the deterministic simulator (each client's whole
+//!   command sequence is queued up front; the client actor executes it
+//!   serially, which *is* a closed loop);
+//! * [`run_cluster`] — a live [`ares_net::testing::LocalCluster`]: one
+//!   OS thread per client issuing blocking operations over real TCP;
+//!
+//! — and reports throughput plus p50/p99/p99.9 latency histograms
+//! ([`LatencyHistogram`]). Every run returns its completion history so
+//! callers can feed [`ares_harness::check_atomicity`]: the perf harness
+//! is itself safety-checked.
+//!
+//! The [`wirebench`] module holds the before/after A/B of this PR's
+//! encode-once / share-don't-copy hot path; the `loadgen` binary ties
+//! everything together and emits `BENCH_throughput.json` (schema in the
+//! repo README).
+
+mod hist;
+pub mod json;
+pub mod wirebench;
+
+pub use hist::LatencyHistogram;
+
+use ares_core::ClientCmd;
+use ares_harness::{Invocation, Scenario};
+use ares_net::testing::LocalCluster;
+use ares_types::{Configuration, ObjectId, OpCompletion, OpKind, Time, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io;
+use std::time::Instant;
+
+/// Parameters of a closed-loop workload.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Number of objects operations are spread over.
+    pub objects: usize,
+    /// Written / expected value size in bytes.
+    pub value_size: usize,
+    /// Percentage of operations that are reads (0..=100).
+    pub read_percent: u32,
+    /// Operations each client performs (bounds the run).
+    pub ops_per_client: usize,
+    /// RNG seed (object choice, read/write mix, value contents).
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            clients: 4,
+            objects: 4,
+            value_size: 4096,
+            read_percent: 50,
+            ops_per_client: 50,
+            seed: 1,
+        }
+    }
+}
+
+impl LoadSpec {
+    /// Total operations the spec schedules.
+    pub fn total_ops(&self) -> usize {
+        self.clients * self.ops_per_client
+    }
+
+    /// The deterministic command sequence of client `index`
+    /// (shared by both backends so a sim run and a cluster run of one
+    /// spec execute the same logical workload).
+    fn client_ops(&self, index: usize) -> Vec<ClientCmd> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((index as u64 + 1) << 32));
+        (0..self.ops_per_client)
+            .map(|op_i| {
+                let obj = ObjectId(rng.random_range(0..self.objects.max(1)) as u32);
+                if rng.random_range(0..100u32) < self.read_percent {
+                    ClientCmd::Read { obj }
+                } else {
+                    // Globally unique value seed: checker-friendly
+                    // (every write's digest is distinct).
+                    let vseed =
+                        self.seed ^ (((index as u64 + 1) << 40) | ((op_i as u64 + 1) << 8) | 1);
+                    ClientCmd::Write { obj, value: Value::filler(self.value_size, vseed) }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one workload run.
+pub struct LoadReport {
+    /// Completed operations.
+    pub ops: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Wall-clock (cluster) or simulated (sim) duration in seconds.
+    pub elapsed_secs: f64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Value payload moved per second, in MiB (reads + writes).
+    pub value_mib_per_sec: f64,
+    /// Read latency distribution (µs).
+    pub read_hist: LatencyHistogram,
+    /// Write latency distribution (µs).
+    pub write_hist: LatencyHistogram,
+    /// The completion history, for atomicity checking.
+    pub completions: Vec<OpCompletion>,
+}
+
+impl LoadReport {
+    fn from_parts(
+        elapsed_secs: f64,
+        value_size: usize,
+        read_hist: LatencyHistogram,
+        write_hist: LatencyHistogram,
+        completions: Vec<OpCompletion>,
+    ) -> LoadReport {
+        let reads = read_hist.count();
+        let writes = write_hist.count();
+        let ops = reads + writes;
+        let secs = elapsed_secs.max(1e-9);
+        LoadReport {
+            ops,
+            reads,
+            writes,
+            elapsed_secs,
+            ops_per_sec: ops as f64 / secs,
+            value_mib_per_sec: ops as f64 * value_size as f64 / (1024.0 * 1024.0) / secs,
+            read_hist,
+            write_hist,
+            completions,
+        }
+    }
+
+    /// Panics unless the recorded history is atomic (the loadgen's own
+    /// safety gate).
+    pub fn assert_atomic(&self) {
+        ares_harness::check_atomicity(&self.completions).assert_atomic();
+    }
+}
+
+/// Runs `spec` against the deterministic simulator over `configs`
+/// (genesis first). Closed-loop: each client's whole sequence is queued
+/// at the start and executed serially by its actor; latency is the
+/// actor's invoke→complete span in simulated microseconds.
+pub fn run_sim(spec: &LoadSpec, configs: Vec<Configuration>) -> LoadReport {
+    let client_ids: Vec<u32> = (0..spec.clients as u32).map(|i| 100 + i).collect();
+    let mut scenario = Scenario::new(configs).clients(client_ids.iter().copied()).seed(spec.seed);
+    for (index, &client) in client_ids.iter().enumerate() {
+        for (op_i, cmd) in spec.client_ops(index).into_iter().enumerate() {
+            scenario = scenario.invoke(Invocation {
+                at: 1 + op_i as Time, // arrival order only; execution is serial per client
+                client: ares_types::ProcessId(client),
+                cmd,
+            });
+        }
+    }
+    let res = scenario.run();
+    let mut read_hist = LatencyHistogram::new();
+    let mut write_hist = LatencyHistogram::new();
+    for c in &res.completions {
+        match c.kind {
+            OpKind::Read => read_hist.record(c.latency()),
+            OpKind::Write => write_hist.record(c.latency()),
+            OpKind::Recon => {}
+        }
+    }
+    LoadReport::from_parts(
+        res.finished_at as f64 / 1e6,
+        spec.value_size,
+        read_hist,
+        write_hist,
+        res.completions,
+    )
+}
+
+/// Runs `spec` against a live loopback TCP cluster over `configs`
+/// (genesis first): one OS thread per client, blocking operations,
+/// wall-clock latencies.
+///
+/// # Errors
+///
+/// Propagates socket errors from cluster bring-up.
+pub fn run_cluster(spec: &LoadSpec, configs: Vec<Configuration>) -> io::Result<LoadReport> {
+    let client_ids: Vec<u32> = (0..spec.clients as u32).map(|i| 100 + i).collect();
+    let cluster = LocalCluster::builder(configs)
+        .clients(client_ids.iter().copied())
+        .objects(0..spec.objects as u32)
+        .start()?;
+
+    let t0 = Instant::now();
+    let per_client: Vec<(LatencyHistogram, LatencyHistogram, Vec<OpCompletion>)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = client_ids
+                .iter()
+                .enumerate()
+                .map(|(index, &pid)| {
+                    let cluster = &cluster;
+                    let ops = spec.client_ops(index);
+                    s.spawn(move || {
+                        let client = cluster.client(pid);
+                        let mut read_hist = LatencyHistogram::new();
+                        let mut write_hist = LatencyHistogram::new();
+                        let mut completions = Vec::with_capacity(ops.len());
+                        for cmd in ops {
+                            let start = Instant::now();
+                            let completion = match cmd {
+                                ClientCmd::Read { obj } => client.read(obj),
+                                ClientCmd::Write { obj, value } => client.write(obj, value),
+                                ClientCmd::Recon { target } => client.reconfig(target),
+                            };
+                            let us = start.elapsed().as_micros() as u64;
+                            match completion.kind {
+                                OpKind::Read => read_hist.record(us),
+                                OpKind::Write => write_hist.record(us),
+                                OpKind::Recon => {}
+                            }
+                            completions.push(completion);
+                        }
+                        (read_hist, write_hist, completions)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+    let elapsed = t0.elapsed().as_secs_f64();
+    cluster.shutdown();
+
+    let mut read_hist = LatencyHistogram::new();
+    let mut write_hist = LatencyHistogram::new();
+    let mut completions = Vec::with_capacity(spec.total_ops());
+    for (r, w, c) in per_client {
+        read_hist.merge(&r);
+        write_hist.merge(&w);
+        completions.extend(c);
+    }
+    Ok(LoadReport::from_parts(elapsed, spec.value_size, read_hist, write_hist, completions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_ops_are_deterministic_and_mixed() {
+        let spec = LoadSpec { ops_per_client: 40, read_percent: 50, ..LoadSpec::default() };
+        let a = spec.client_ops(0);
+        let b = spec.client_ops(0);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        let reads = a.iter().filter(|c| matches!(c, ClientCmd::Read { .. })).count();
+        assert!(reads > 5 && reads < 35, "mix should hover around 50% (got {reads}/40)");
+        // distinct clients draw distinct streams
+        let c = spec.client_ops(1);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn write_values_are_globally_unique() {
+        let spec = LoadSpec { read_percent: 0, ops_per_client: 20, ..LoadSpec::default() };
+        let mut digests = std::collections::HashSet::new();
+        for index in 0..spec.clients {
+            for cmd in spec.client_ops(index) {
+                if let ClientCmd::Write { value, .. } = cmd {
+                    assert!(digests.insert(value.digest()), "duplicate write value");
+                }
+            }
+        }
+    }
+}

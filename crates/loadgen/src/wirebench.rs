@@ -1,0 +1,222 @@
+//! Before/after A/B of the encode-once / share-don't-copy hot path.
+//!
+//! "Before" reproduces the seed's per-operation byte work faithfully
+//! from the retained reference implementations; "after" runs the
+//! current code. Both legs execute in the same process over identical
+//! inputs, so the ratio isolates exactly this PR's changes:
+//!
+//! | stage                    | before                            | after                      |
+//! |--------------------------|-----------------------------------|----------------------------|
+//! | erasure encode           | dense log/exp kernel, all `n` rows ([`ReedSolomon::encode_dense`]) | table kernel, parity rows only; systematic fragments are zero-copy slices |
+//! | broadcast frame encode   | one serialization per destination | one serialization, `Arc` refcounts per destination |
+//! | receiver decode          | payload copied out of the frame   | zero-copy slice of the frame buffer |
+//!
+//! The measured operation is the paper's running example: a 1 MiB value
+//! written through TREAS `[5, 3]` (one `get-tag` quorum broadcast, the
+//! coded `put-data` fan-out, and the five server-side decodes), plus an
+//! ABD full-replication write for contrast (where encode-once dominates,
+//! since every destination receives the same megabyte).
+
+use ares_codes::reed_solomon::ReedSolomon;
+use ares_codes::{CodeParams, ErasureCode};
+use ares_core::Msg;
+use ares_dap::{DapBody, DapMsg, Hdr};
+use ares_net::codec;
+use ares_types::{ConfigId, ObjectId, OpId, ProcessId, RpcId, Tag, Value};
+use bytes::Bytes;
+use std::time::Instant;
+
+/// One measured leg of an A/B pair.
+#[derive(Debug, Clone)]
+pub struct Leg {
+    /// What this leg runs.
+    pub label: &'static str,
+    /// Measured iterations.
+    pub iters: u32,
+    /// Mean per-operation time in milliseconds.
+    pub per_op_ms: f64,
+    /// Value throughput in MiB/s.
+    pub mib_per_sec: f64,
+}
+
+/// A before/after measurement of one pipeline.
+#[derive(Debug, Clone)]
+pub struct AbResult {
+    /// Pipeline name (JSON key).
+    pub name: &'static str,
+    /// Value size in bytes.
+    pub value_bytes: usize,
+    /// `[n, k]` of the measured configuration.
+    pub code: CodeParams,
+    /// The seed's pipeline.
+    pub before: Leg,
+    /// The current pipeline.
+    pub after: Leg,
+}
+
+impl AbResult {
+    /// before/after speedup (>1 means the PR made it faster).
+    pub fn speedup(&self) -> f64 {
+        self.before.per_op_ms / self.after.per_op_ms
+    }
+}
+
+fn hdr() -> Hdr {
+    Hdr {
+        cfg: ConfigId(0),
+        obj: ObjectId(0),
+        rpc: RpcId(1),
+        op: OpId { client: ProcessId(99), seq: 0 },
+    }
+}
+
+fn time_leg(label: &'static str, value_bytes: usize, iters: u32, mut op: impl FnMut()) -> Leg {
+    // Warm-up pass (page in tables and buffers), then measure.
+    op();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    Leg {
+        label,
+        iters,
+        per_op_ms: secs * 1e3 / iters as f64,
+        mib_per_sec: iters as f64 * value_bytes as f64 / (1024.0 * 1024.0) / secs.max(1e-12),
+    }
+}
+
+/// Simulates the socket read both legs pay: the frame payload lands in
+/// one fresh buffer.
+fn arrive(frame: &[u8]) -> Vec<u8> {
+    frame[4..].to_vec()
+}
+
+/// The seed's two-step framing: build the payload in its own growing
+/// buffer, then copy it whole behind the length prefix (the current
+/// [`codec::try_encode_frame`] encodes directly into one presized
+/// buffer instead).
+fn encode_frame_seed(from: ProcessId, msg: &Msg) -> Vec<u8> {
+    use ares_net::codec::WireEncode;
+    let mut payload = Vec::with_capacity(64);
+    payload.push(codec::WIRE_VERSION);
+    from.encode(&mut payload);
+    msg.encode(&mut payload);
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A/B of the full client→servers byte pipeline of one TREAS write.
+pub fn treas_write_pipeline(value_bytes: usize, n: usize, k: usize, iters: u32) -> AbResult {
+    let code = ReedSolomon::new(n, k).expect("valid params");
+    let value = Value::filler(value_bytes, 42);
+    let tag = Tag::new(7, ProcessId(99));
+    let servers: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
+    let me = ProcessId(99);
+
+    let before = time_leg(
+        "seed: dense log/exp encode + per-dest frame encode + copying decode",
+        value_bytes,
+        iters,
+        || {
+            // get-tag phase: the same query serialized once per destination.
+            let query = Msg::Dap(DapMsg::new(hdr(), DapBody::TreasQueryTag));
+            for _ in &servers {
+                std::hint::black_box(encode_frame_seed(me, &query));
+            }
+            // put-data: dense encode, one frame per fragment, copying decode
+            // at each receiving server.
+            let frags = code.encode_dense(value.as_bytes());
+            for f in frags {
+                let msg = Msg::Dap(DapMsg::new(hdr(), DapBody::TreasWrite(tag, f)));
+                let frame = encode_frame_seed(me, &msg);
+                let payload = arrive(&frame);
+                std::hint::black_box(codec::decode_payload(&payload).expect("decodes"));
+            }
+        },
+    );
+
+    let after = time_leg(
+        "arc: sparse table encode + encode-once broadcast + zero-copy decode",
+        value_bytes,
+        iters,
+        || {
+            // get-tag phase: encoded once; destinations share the Arc frame.
+            let query = Msg::Dap(DapMsg::new(hdr(), DapBody::TreasQueryTag));
+            let frame: std::sync::Arc<[u8]> = codec::encode_frame(me, &query).into();
+            for _ in &servers {
+                std::hint::black_box(frame.clone());
+            }
+            // put-data: systematic fragments are zero-copy views of the
+            // value itself, parity uses the SIMD kernel; receivers decode
+            // zero-copy.
+            let frags = code.encode_value(value.bytes());
+            for f in frags {
+                let msg = Msg::Dap(DapMsg::new(hdr(), DapBody::TreasWrite(tag, f)));
+                let frame = codec::encode_frame(me, &msg);
+                let payload = Bytes::from(arrive(&frame));
+                std::hint::black_box(codec::decode_payload_bytes(&payload).expect("decodes"));
+            }
+        },
+    );
+
+    AbResult { name: "treas_write", value_bytes, code: CodeParams { n, k }, before, after }
+}
+
+/// A/B of one ABD (full replication) write broadcast: every destination
+/// receives the same value, so encode-once collapses `n` serializations
+/// into one.
+pub fn abd_write_pipeline(value_bytes: usize, n: usize, iters: u32) -> AbResult {
+    let value = Value::filler(value_bytes, 43);
+    let tag = Tag::new(9, ProcessId(99));
+    let servers: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
+    let me = ProcessId(99);
+    let msg = Msg::Dap(DapMsg::new(hdr(), DapBody::AbdWrite(tag, value)));
+
+    let before = time_leg(
+        "seed: one frame encode per destination + copying decode",
+        value_bytes,
+        iters,
+        || {
+            for _ in &servers {
+                let frame = encode_frame_seed(me, &msg);
+                let payload = arrive(&frame);
+                std::hint::black_box(codec::decode_payload(&payload).expect("decodes"));
+            }
+        },
+    );
+
+    let after = time_leg(
+        "arc: encode once, refcount per destination + zero-copy decode",
+        value_bytes,
+        iters,
+        || {
+            let frame: std::sync::Arc<[u8]> = codec::encode_frame(me, &msg).into();
+            for _ in &servers {
+                let shared = frame.clone();
+                let payload = Bytes::from(arrive(&shared));
+                std::hint::black_box(codec::decode_payload_bytes(&payload).expect("decodes"));
+            }
+        },
+    );
+
+    AbResult { name: "abd_write", value_bytes, code: CodeParams { n, k: 1 }, before, after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_run_and_report() {
+        // Tiny sizes: this is a smoke test of the harness, not a perf
+        // assertion (those belong to the release-built binary).
+        let r = treas_write_pipeline(12 * 1024, 5, 3, 3);
+        assert!(r.before.per_op_ms > 0.0 && r.after.per_op_ms > 0.0);
+        assert!(r.speedup() > 0.0);
+        let r = abd_write_pipeline(8 * 1024, 5, 3);
+        assert!(r.before.per_op_ms > 0.0 && r.after.per_op_ms > 0.0);
+    }
+}

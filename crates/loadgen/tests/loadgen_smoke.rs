@@ -1,0 +1,47 @@
+//! Deterministic loadgen smoke tests: small clusters, fixed seeds,
+//! bounded op counts — and every produced history feeds the atomicity
+//! checker, so the perf harness is itself safety-checked.
+
+use ares_harness::check_atomicity;
+use ares_loadgen::{run_cluster, run_sim, LoadSpec};
+use ares_types::{ConfigId, Configuration, ProcessId};
+
+fn treas53() -> Vec<Configuration> {
+    vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)]
+}
+
+fn small_spec() -> LoadSpec {
+    LoadSpec {
+        clients: 3,
+        objects: 2,
+        value_size: 512,
+        read_percent: 40,
+        ops_per_client: 12,
+        seed: 7,
+    }
+}
+
+#[test]
+fn sim_loadgen_is_deterministic_and_atomic() {
+    let spec = small_spec();
+    let a = run_sim(&spec, treas53());
+    let b = run_sim(&spec, treas53());
+    assert_eq!(a.ops, spec.total_ops() as u64, "all scheduled ops complete");
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.elapsed_secs, b.elapsed_secs, "simulator runs are bit-deterministic");
+    assert_eq!(a.read_hist.percentiles(), b.read_hist.percentiles());
+    assert_eq!(a.write_hist.percentiles(), b.write_hist.percentiles());
+    check_atomicity(&a.completions).assert_atomic();
+    assert!(a.reads > 0 && a.writes > 0, "mix produced both kinds");
+}
+
+#[test]
+fn cluster_loadgen_history_is_atomic() {
+    let spec = small_spec();
+    let r = run_cluster(&spec, treas53()).expect("cluster bring-up");
+    assert_eq!(r.ops, spec.total_ops() as u64, "all scheduled ops complete");
+    check_atomicity(&r.completions).assert_atomic();
+    assert!(r.ops_per_sec > 0.0);
+    // Latencies were recorded for every completed operation.
+    assert_eq!(r.read_hist.count() + r.write_hist.count(), r.ops);
+}

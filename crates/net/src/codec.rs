@@ -94,15 +94,31 @@ impl From<DecodeError> for io::Error {
 }
 
 /// A bounds-checked cursor over one received frame.
+///
+/// Constructed over a plain slice ([`WireReader::new`]) the reader
+/// copies byte strings out; constructed over a shared buffer
+/// ([`WireReader::new_shared`]) it hands decoded payloads
+/// ([`Fragment`] data, [`Value`] bytes) out as **zero-copy slices** of
+/// the frame allocation, so receiving a megabyte fragment costs one
+/// socket read and no further copies.
 pub struct WireReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding out of a shared buffer, the owning `Bytes` (same
+    /// range as `buf`) that payload slices borrow from.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> WireReader<'a> {
     /// Wraps a frame payload.
     pub fn new(buf: &'a [u8]) -> Self {
-        WireReader { buf, pos: 0 }
+        WireReader { buf, pos: 0, shared: None }
+    }
+
+    /// Wraps a frame payload held in a shared buffer; decoded byte
+    /// strings are zero-copy slices of it.
+    pub fn new_shared(buf: &'a Bytes) -> Self {
+        WireReader { buf, pos: 0, shared: Some(buf) }
     }
 
     /// Bytes not yet consumed.
@@ -143,6 +159,28 @@ impl<'a> WireReader<'a> {
             return Err(DecodeError::UnexpectedEof);
         }
         self.take(len)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string as an owned [`Bytes`]:
+    /// a zero-copy slice of the frame buffer when this reader was built
+    /// with [`WireReader::new_shared`], a copy otherwise. Large-payload
+    /// decoders ([`Fragment`], [`Value`]) use this so a received coded
+    /// element shares the frame's allocation instead of cloning it.
+    pub fn byte_str_bytes(&mut self) -> Result<Bytes, DecodeError> {
+        let shared = self.shared;
+        let start_of_data = {
+            let len = self.u32()? as usize;
+            if len > self.remaining() {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let s = self.pos;
+            self.pos += len;
+            s
+        };
+        Ok(match shared {
+            Some(b) => b.slice(start_of_data..self.pos),
+            None => Bytes::copy_from_slice(&self.buf[start_of_data..self.pos]),
+        })
     }
 
     /// Reads a sequence count, validated against the remaining bytes
@@ -323,7 +361,7 @@ impl WireEncode for Value {
 }
 impl WireDecode for Value {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
-        Ok(Value::new(r.byte_str()?.to_vec()))
+        Ok(Value::new(r.byte_str_bytes()?))
     }
 }
 
@@ -339,7 +377,7 @@ impl WireDecode for Fragment {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
         let index = r.u32()? as usize;
         let value_len = r.u64()? as usize;
-        let data = Bytes::from(r.byte_str()?.to_vec());
+        let data = r.byte_str_bytes()?;
         Ok(Fragment { index, value_len, data })
     }
 }
@@ -910,23 +948,31 @@ impl WireDecode for Msg {
 // Framing
 // ---------------------------------------------------------------------
 
+thread_local! {
+    /// Frames encoded by this thread (see [`frames_encoded`]).
+    static FRAMES_ENCODED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of wire payloads this *thread* has encoded. Thread-local so a
+/// test can meter exactly the code it drives (each host encodes on its
+/// own event-loop thread) without interference from concurrent tests —
+/// this is what pins the encode-once broadcast property.
+pub fn frames_encoded() -> u64 {
+    FRAMES_ENCODED.with(|c| c.get())
+}
+
 /// Encodes one frame payload (version, sender, message) *without* the
 /// length prefix.
 pub fn encode_payload(from: ProcessId, msg: &Msg) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
+    FRAMES_ENCODED.with(|c| c.set(c.get() + 1));
+    let mut out = Vec::with_capacity(payload_size_hint(msg) + 64);
     out.push(WIRE_VERSION);
     from.encode(&mut out);
     msg.encode(&mut out);
     out
 }
 
-/// Strictly decodes one frame payload (the bytes after the length
-/// prefix) into `(sender, message)`.
-pub fn decode_payload(buf: &[u8]) -> Result<(ProcessId, Msg), DecodeError> {
-    if buf.len() > MAX_FRAME_LEN {
-        return Err(DecodeError::FrameTooLarge(buf.len()));
-    }
-    let mut r = WireReader::new(buf);
+fn decode_payload_reader(mut r: WireReader<'_>) -> Result<(ProcessId, Msg), DecodeError> {
     let version = r.u8()?;
     if version != WIRE_VERSION {
         return Err(DecodeError::BadVersion(version));
@@ -937,20 +983,83 @@ pub fn decode_payload(buf: &[u8]) -> Result<(ProcessId, Msg), DecodeError> {
     Ok((from, msg))
 }
 
+/// Strictly decodes one frame payload (the bytes after the length
+/// prefix) into `(sender, message)`.
+pub fn decode_payload(buf: &[u8]) -> Result<(ProcessId, Msg), DecodeError> {
+    if buf.len() > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge(buf.len()));
+    }
+    decode_payload_reader(WireReader::new(buf))
+}
+
+/// Like [`decode_payload`], but over a shared buffer: large payloads in
+/// the decoded message ([`Fragment`] data, [`Value`] bytes) come out as
+/// zero-copy slices of `buf`. This is the path [`read_frame`] uses, so
+/// a received coded element or replicated value shares the frame's one
+/// allocation end-to-end. The slices pin the whole frame buffer: for
+/// the single-payload messages servers retain (`TreasWrite`,
+/// `FwdElem`, `AbdWrite`) that is the few dozen header bytes of
+/// overhead; multi-fragment frames (`TreasList`, `RepairMsg::Lists`)
+/// are only held transiently (read evaluation, an in-flight repair
+/// task), and anything rebuilt from them for long-term storage goes
+/// through `Fragment::compacted`.
+pub fn decode_payload_bytes(buf: &Bytes) -> Result<(ProcessId, Msg), DecodeError> {
+    if buf.len() > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge(buf.len()));
+    }
+    decode_payload_reader(WireReader::new_shared(buf))
+}
+
+/// Lower bound on the encoded size of `msg`'s bulk payload (value or
+/// fragment bytes), used to presize frame buffers so encoding a
+/// megabyte value is one reservation and one copy instead of a
+/// doubling-realloc cascade.
+fn payload_size_hint(msg: &Msg) -> usize {
+    match msg {
+        Msg::Dap(m) => match &m.body {
+            DapBody::AbdWrite(_, v)
+            | DapBody::AbdTagValue(_, v)
+            | DapBody::LdrPutData(_, v)
+            | DapBody::LdrData(_, v) => v.len(),
+            DapBody::TreasWrite(_, f) => f.data.len(),
+            DapBody::TreasList(l) => {
+                l.iter().map(|e| e.frag.as_ref().map_or(0, |f| f.data.len()) + 32).sum()
+            }
+            _ => 0,
+        },
+        Msg::Xfer(XferMsg::FwdElem { frag, .. }) => frag.data.len(),
+        Msg::Repair(RepairMsg::Lists { list, .. }) => {
+            list.iter().map(|e| e.frag.as_ref().map_or(0, |f| f.data.len()) + 32).sum()
+        }
+        Msg::Cmd(ClientCmd::Write { value, .. }) => value.len(),
+        _ => 0,
+    }
+}
+
 /// Encodes one complete frame (length prefix included), erroring with
 /// [`DecodeError::FrameTooLarge`] if the payload exceeds
 /// [`MAX_FRAME_LEN`] — every receiver would reject such a frame, so the
 /// sender is the one place the violation can be detected and handled
 /// (the event loop drops it; a long-running host must not die over one
 /// oversized reply). This also keeps the `u32` length prefix exact.
+///
+/// The message encodes **directly into the frame buffer** behind a
+/// four-byte length placeholder that is patched afterwards — one
+/// allocation, one pass over the payload (the seed built the payload in
+/// a separate growing buffer and then copied it whole behind the
+/// prefix, an extra full-payload copy per frame).
 pub fn try_encode_frame(from: ProcessId, msg: &Msg) -> Result<Vec<u8>, DecodeError> {
-    let payload = encode_payload(from, msg);
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(DecodeError::FrameTooLarge(payload.len()));
+    FRAMES_ENCODED.with(|c| c.set(c.get() + 1));
+    let mut out = Vec::with_capacity(payload_size_hint(msg) + 96);
+    out.extend_from_slice(&[0u8; 4]);
+    out.push(WIRE_VERSION);
+    from.encode(&mut out);
+    msg.encode(&mut out);
+    let payload_len = out.len() - 4;
+    if payload_len > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge(payload_len));
     }
-    let mut out = Vec::with_capacity(payload.len() + 4);
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.extend_from_slice(&payload);
+    out[..4].copy_from_slice(&(payload_len as u32).to_be_bytes());
     Ok(out)
 }
 
@@ -1019,7 +1128,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(ProcessId, Msg)>> {
         }
         filled += n;
     }
-    Ok(Some(decode_payload(&payload)?))
+    debug_assert_eq!(payload.len(), len);
+    Ok(Some(decode_payload_bytes(&Bytes::from(payload))?))
 }
 
 /// The object id `msg` operates on, if any (`None` for consensus and
@@ -1220,6 +1330,37 @@ mod tests {
             let after = format!("{:?}", roundtrip(m));
             assert_eq!(before, after);
         }
+    }
+
+    #[test]
+    fn shared_decode_is_zero_copy_for_fragments_and_values() {
+        let frag = Fragment { index: 2, value_len: 3000, data: Bytes::from(vec![7u8; 1000]) };
+        let msg = Msg::Dap(DapMsg::new(
+            Hdr { cfg: ConfigId(0), obj: ObjectId(0), rpc: RpcId(1), op: op() },
+            DapBody::TreasWrite(Tag::new(1, ProcessId(2)), frag.clone()),
+        ));
+        let frame = encode_frame(ProcessId(3), &msg);
+        let payload = Bytes::from(frame[4..].to_vec());
+        let (_, decoded) = decode_payload_bytes(&payload).expect("decodes");
+        let Msg::Dap(d) = &decoded else { panic!("wrong arm") };
+        let DapBody::TreasWrite(_, f) = &d.body else { panic!("wrong body") };
+        assert_eq!(f, &frag);
+        assert!(
+            Bytes::shares_allocation(&f.data, &payload),
+            "decoded fragment must slice the frame buffer, not copy it"
+        );
+
+        let msg = Msg::Dap(DapMsg::new(
+            Hdr { cfg: ConfigId(0), obj: ObjectId(0), rpc: RpcId(1), op: op() },
+            DapBody::AbdWrite(Tag::new(1, ProcessId(2)), Value::filler(512, 1)),
+        ));
+        let frame = encode_frame(ProcessId(3), &msg);
+        let payload = Bytes::from(frame[4..].to_vec());
+        let (_, decoded) = decode_payload_bytes(&payload).expect("decodes");
+        let Msg::Dap(d) = &decoded else { panic!("wrong arm") };
+        let DapBody::AbdWrite(_, v) = &d.body else { panic!("wrong body") };
+        assert_eq!(v, &Value::filler(512, 1));
+        assert!(Bytes::shares_allocation(v.bytes(), &payload));
     }
 
     #[test]

@@ -163,37 +163,143 @@ impl Timers {
 // Outbound peer pool
 // ---------------------------------------------------------------------
 
+/// Per-peer bound on queued outbound frames. A crashed or unreachable
+/// peer must not accumulate frames (and the shared payload allocations
+/// they pin) without limit while its writer retries: past this mark the
+/// queue drops its *oldest* frame — loss to a dead peer is already in
+/// the model (DESIGN §6: the asynchronous channels the protocols assume
+/// tolerate message loss, and quorum logic never waits on a dead
+/// destination), and the newest frames are the ones a recovering peer
+/// can still act on.
+const OUTBOUND_HIGH_WATER: usize = 1024;
+
+/// A bounded MPSC frame queue with drop-oldest overflow semantics.
+/// Frames are `Arc<[u8]>` so a broadcast enqueues n refcounts of one
+/// encoded buffer, not n copies.
+struct FrameQueue {
+    state: Mutex<FrameQueueState>,
+    cv: Condvar,
+}
+
+struct FrameQueueState {
+    queue: std::collections::VecDeque<Arc<[u8]>>,
+    closed: bool,
+    dropped: u64,
+}
+
+impl FrameQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(FrameQueue {
+            state: Mutex::new(FrameQueueState {
+                queue: std::collections::VecDeque::new(),
+                closed: false,
+                dropped: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Enqueues a frame, evicting the oldest queued frame beyond the
+    /// high-water mark. Never blocks the sending (event-loop) thread.
+    fn push(&self, frame: Arc<[u8]>) {
+        let mut st = self.state.lock().expect("frame queue lock");
+        if st.closed {
+            return;
+        }
+        if st.queue.len() >= OUTBOUND_HIGH_WATER {
+            st.queue.pop_front();
+            st.dropped += 1;
+        }
+        st.queue.push_back(frame);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next frame; `None` once closed and drained.
+    fn pop(&self) -> Option<Arc<[u8]>> {
+        let mut st = self.state.lock().expect("frame queue lock");
+        loop {
+            if let Some(f) = st.queue.pop_front() {
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).expect("frame queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("frame queue lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.state.lock().expect("frame queue lock").queue.len()
+    }
+
+    #[cfg(test)]
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("frame queue lock").dropped
+    }
+}
+
 struct PeerPool {
     book: Arc<AddrBook>,
-    senders: Mutex<HashMap<ProcessId, Sender<Vec<u8>>>>,
+    queues: Mutex<HashMap<ProcessId, Arc<FrameQueue>>>,
 }
 
 impl PeerPool {
     fn new(book: Arc<AddrBook>) -> Arc<Self> {
-        Arc::new(PeerPool { book, senders: Mutex::new(HashMap::new()) })
+        Arc::new(PeerPool { book, queues: Mutex::new(HashMap::new()) })
     }
 
-    /// Enqueues a frame for `to`, spawning its writer thread on first
-    /// use (and respawning it if a previous one exited).
-    fn send(&self, to: ProcessId, frame: Vec<u8>) {
+    /// Enqueues an encoded frame for `to`, spawning its writer thread on
+    /// first use. The pool lock is held only for the map lookup/insert —
+    /// never across `thread::spawn` or the queue push — so one sender
+    /// making first contact with a new peer cannot stall every
+    /// concurrent sender behind the OS thread-creation latency.
+    fn send(&self, to: ProcessId, frame: Arc<[u8]>) {
         let Some(addr) = self.book.addr(to) else {
             return; // unknown destination: drop, like the simulator does
         };
-        let mut senders = self.senders.lock().expect("pool lock");
-        let frame = match senders.get(&to) {
-            Some(tx) => match tx.send(frame) {
-                Ok(()) => return,
-                Err(mpsc::SendError(frame)) => {
-                    senders.remove(&to);
-                    frame
+        let (queue, spawn) = {
+            let mut queues = self.queues.lock().expect("pool lock");
+            match queues.get(&to) {
+                Some(q) => (q.clone(), false),
+                None => {
+                    let q = FrameQueue::new();
+                    queues.insert(to, q.clone());
+                    (q, true)
                 }
-            },
-            None => frame,
+            }
         };
-        let (tx, rx) = mpsc::channel::<Vec<u8>>();
-        let _ = tx.send(frame);
-        senders.insert(to, tx);
-        std::thread::spawn(move || writer_loop(addr, rx));
+        if spawn {
+            let writer_queue = queue.clone();
+            std::thread::spawn(move || writer_loop(addr, writer_queue));
+        }
+        queue.push(frame);
+    }
+
+    #[cfg(test)]
+    fn queue_len(&self, to: ProcessId) -> usize {
+        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.len())
+    }
+
+    #[cfg(test)]
+    fn queue_dropped(&self, to: ProcessId) -> u64 {
+        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.dropped())
+    }
+}
+
+impl Drop for PeerPool {
+    fn drop(&mut self) {
+        // Wake and retire every writer thread (they hold only their own
+        // queue Arc, so closing is what ends them).
+        for q in self.queues.lock().expect("pool lock").values() {
+            q.close();
+        }
     }
 }
 
@@ -203,7 +309,7 @@ impl PeerPool {
 /// dropped — the asynchronous-channel abstraction the protocols assume
 /// tolerates loss to crashed peers, and quorum logic never waits on a
 /// dead destination.
-fn writer_loop(addr: SocketAddr, rx: Receiver<Vec<u8>>) {
+fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>) {
     let mut stream: Option<BufWriter<TcpStream>> = None;
     let connect = |addr: SocketAddr| -> Option<BufWriter<TcpStream>> {
         for backoff_ms in [0u64, 20, 100] {
@@ -217,7 +323,7 @@ fn writer_loop(addr: SocketAddr, rx: Receiver<Vec<u8>>) {
         }
         None
     };
-    while let Ok(frame) = rx.recv() {
+    while let Some(frame) = queue.pop() {
         for _attempt in 0..2 {
             if stream.is_none() {
                 stream = connect(addr);
@@ -553,6 +659,12 @@ fn apply<A>(
     timers: &Timers,
     completions: &Option<Sender<OpCompletion>>,
 ) {
+    // Encode-once/send-many: a quorum broadcast arrives here as a run of
+    // `Send` effects whose messages are clones sharing one payload
+    // allocation (equality between them short-circuits on the shared
+    // `Bytes`), so one wire encode serves every destination — the frame
+    // is an `Arc<[u8]>` the per-peer queues refcount instead of copying.
+    let mut last_frame: Option<(Msg, Arc<[u8]>)> = None;
     for eff in effects {
         match eff {
             HostEffect::Send { to, msg } => {
@@ -560,14 +672,26 @@ fn apply<A>(
                     // Self-sends (e.g. a server forwarding a coded
                     // element to itself) short-circuit the socket.
                     let _ = loopback.send(Event::Deliver { from: pid, msg, counted: false });
-                } else if let Ok(frame) = codec::try_encode_frame(pid, &msg) {
-                    pool.send(to, frame);
+                    continue;
                 }
-                // An over-limit frame (e.g. a TreasList reply whose δ+1
-                // coded elements together exceed MAX_FRAME_LEN) is
-                // dropped: every receiver would reject it anyway, and a
-                // long-running host must not die over one reply. Quorum
-                // logic treats it as a lost message.
+                let frame = match &last_frame {
+                    Some((m, f)) if *m == msg => f.clone(),
+                    _ => match codec::try_encode_frame(pid, &msg) {
+                        Ok(f) => {
+                            let f: Arc<[u8]> = f.into();
+                            last_frame = Some((msg, f.clone()));
+                            f
+                        }
+                        // An over-limit frame (e.g. a TreasList reply
+                        // whose δ+1 coded elements together exceed
+                        // MAX_FRAME_LEN) is dropped: every receiver
+                        // would reject it anyway, and a long-running
+                        // host must not die over one reply. Quorum
+                        // logic treats it as a lost message.
+                        Err(_) => continue,
+                    },
+                };
+                pool.send(to, frame);
             }
             HostEffect::SetTimer { delay, token } => {
                 timers.arm(Instant::now() + Duration::from_micros(delay), token);
@@ -810,5 +934,123 @@ impl RemoteClient {
     /// Stops all threads and closes the reply listener.
     pub fn shutdown(self) {
         self.host.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_dap::{DapBody, DapMsg, Hdr};
+    use ares_types::{ConfigId, ObjectId, OpId, RpcId, Tag};
+
+    fn write_msg(value: Value) -> Msg {
+        Msg::Dap(DapMsg::new(
+            Hdr {
+                cfg: ConfigId(0),
+                obj: ObjectId(0),
+                rpc: RpcId(1),
+                op: OpId { client: ProcessId(9), seq: 0 },
+            },
+            DapBody::AbdWrite(Tag::new(1, ProcessId(9)), value),
+        ))
+    }
+
+    #[test]
+    fn frame_queue_drops_oldest_beyond_high_water() {
+        let q = FrameQueue::new();
+        let frame =
+            |i: u32| -> Arc<[u8]> { Arc::from(i.to_be_bytes().to_vec().into_boxed_slice()) };
+        for i in 0..(OUTBOUND_HIGH_WATER as u32 + 5) {
+            q.push(frame(i));
+        }
+        assert_eq!(q.len(), OUTBOUND_HIGH_WATER, "queue is bounded");
+        assert_eq!(q.dropped(), 5, "excess frames dropped");
+        // Drop-oldest: the first frame still queued is frame 5.
+        assert_eq!(q.pop().unwrap().as_ref(), &5u32.to_be_bytes());
+        q.close();
+        // Closed queues drain what they hold, then end.
+        for _ in 0..(OUTBOUND_HIGH_WATER - 1) {
+            assert!(q.pop().is_some());
+        }
+        assert!(q.pop().is_none());
+        q.push(frame(0)); // push-after-close is a no-op
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn dead_peer_queue_stays_bounded() {
+        // A book entry pointing at a port nothing listens on: the writer
+        // thread burns reconnect backoffs while the event loop keeps
+        // sending. The per-peer queue must never exceed the high-water
+        // mark no matter how fast frames arrive.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+            // listener dropped: connections now refused
+        };
+        let book = Arc::new(AddrBook::from_entries([(ProcessId(2), dead)]));
+        let pool = PeerPool::new(book);
+        let frame: Arc<[u8]> = Arc::from(vec![0u8; 64].into_boxed_slice());
+        for _ in 0..(3 * OUTBOUND_HIGH_WATER) {
+            pool.send(ProcessId(2), frame.clone());
+        }
+        assert!(
+            pool.queue_len(ProcessId(2)) <= OUTBOUND_HIGH_WATER,
+            "unreachable peer must not accumulate frames past the high-water mark"
+        );
+        assert!(pool.queue_dropped(ProcessId(2)) > 0, "overflow drops, not growth");
+    }
+
+    #[test]
+    fn quorum_broadcast_encodes_exactly_once() {
+        // Five Send effects carrying clones of one 1 MiB write (what a
+        // DapCall broadcast emits) must serialize once: the per-peer
+        // queues then share the single encoded frame by refcount.
+        let me = ProcessId(9);
+        let value = Value::filler(1 << 20, 7);
+        let effects: Vec<HostEffect<Msg>> = (1..=5u32)
+            .map(|s| HostEffect::Send { to: ProcessId(s), msg: write_msg(value.clone()) })
+            .collect();
+        let (tx, _rx) = mpsc::channel::<Event<ServerActor>>();
+        let pool = PeerPool::new(Arc::new(AddrBook::new()));
+        let timers = Timers::new();
+        let before = codec::frames_encoded();
+        apply(me, effects, &tx, &pool, &timers, &None);
+        assert_eq!(
+            codec::frames_encoded() - before,
+            1,
+            "a 5-target quorum broadcast must perform exactly one wire encode"
+        );
+
+        // Distinct payloads (a TREAS fragment fan-out) still encode
+        // per destination — the cache keys on message equality.
+        let effects: Vec<HostEffect<Msg>> = (1..=5u32)
+            .map(|s| HostEffect::Send {
+                to: ProcessId(s),
+                msg: write_msg(Value::filler(64, s as u64)),
+            })
+            .collect();
+        let before = codec::frames_encoded();
+        apply(me, effects, &tx, &pool, &timers, &None);
+        assert_eq!(codec::frames_encoded() - before, 5);
+    }
+
+    #[test]
+    fn broadcast_performs_zero_deep_value_copies() {
+        // The message clones a broadcast fans out must all view the one
+        // value allocation; the only copy on the wire path is the single
+        // frame encode (pinned above).
+        let value = Value::filler(1 << 20, 3);
+        let msgs: Vec<Msg> = (0..5).map(|_| write_msg(value.clone())).collect();
+        for m in &msgs {
+            let Msg::Dap(d) = m else { unreachable!() };
+            let DapBody::AbdWrite(_, v) = &d.body else { unreachable!() };
+            assert!(
+                bytes::Bytes::shares_allocation(value.bytes(), v.bytes()),
+                "broadcast clone must share the value allocation"
+            );
+        }
+        // 1 original + 5 clones, zero new allocations.
+        assert_eq!(value.bytes().ref_count(), 6);
     }
 }

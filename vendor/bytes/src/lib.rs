@@ -2,47 +2,78 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors the small slice of the `bytes` API the ARES code
-//! actually uses: a cheaply-cloneable, immutable, shared byte buffer.
-//! Semantics match `bytes::Bytes` for the covered surface; the zero-copy
-//! `from_static` optimisation is replaced by a one-time copy into the
-//! shared allocation, which is irrelevant for correctness.
+//! actually uses: a cheaply-cloneable, immutable, shared byte buffer
+//! with **zero-copy slicing**. A `Bytes` is a `(Arc<[u8]>, offset, len)`
+//! view: `clone` bumps a refcount, [`Bytes::slice`] narrows the view
+//! without copying, and every view of one buffer shares the single
+//! underlying allocation. Semantics match `bytes::Bytes` for the covered
+//! surface; the zero-copy `from_static` optimisation is replaced by a
+//! one-time copy into the shared allocation, which is irrelevant for
+//! correctness.
+//!
+//! The sharing is what makes large values cheap on the protocol hot
+//! paths: an erasure-coded fan-out or quorum broadcast hands every
+//! destination a view of one allocation instead of `O(n)` deep copies
+//! (see `DESIGN.md` §7 for the ownership model).
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply cloneable immutable byte buffer backed by an `Arc<[u8]>`.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bytes(Arc<[u8]>);
+/// A cheaply cloneable immutable byte buffer: a `(offset, len)` view into
+/// a shared `Arc<[u8]>` allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Bytes {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from_arc(Arc::from(&[][..]))
+    }
+
+    /// Wraps a whole shared allocation without copying.
+    pub fn from_arc(buf: Arc<[u8]>) -> Bytes {
+        let len = buf.len();
+        Bytes { buf, off: 0, len }
     }
 
     /// Creates a buffer from a `'static` slice (copied once).
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
-        Bytes(Arc::from(bytes))
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Creates a buffer by copying `data`.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
-    /// Returns a new `Bytes` containing the given subrange (copied).
+    /// Returns a new `Bytes` viewing the given subrange of this one
+    /// — **zero-copy**: the returned value shares this buffer's
+    /// allocation and only narrows the `(offset, len)` window.
+    ///
+    /// Note: the subview keeps the whole underlying allocation alive.
+    /// Callers that retain a tiny slice of a large transient buffer for
+    /// a long time should [`Bytes::copy_from_slice`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (as `&self[range]` would).
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -53,19 +84,40 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&e) => e + 1,
             Bound::Excluded(&e) => e,
-            Bound::Unbounded => self.0.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes(Arc::from(&self.0[start..end]))
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of range {}", self.len);
+        Bytes { buf: self.buf.clone(), off: self.off + start, len: end - start }
+    }
+
+    /// Whether two buffers are views into the **same allocation** —
+    /// i.e. cloning/slicing got them here without a deep copy. Used by
+    /// tests that pin the zero-copy property of hot paths.
+    pub fn shares_allocation(a: &Bytes, b: &Bytes) -> bool {
+        Arc::ptr_eq(&a.buf, &b.buf)
+    }
+
+    /// Number of live `Bytes` views of this buffer's allocation
+    /// (`Arc::strong_count`).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+
+    /// Length of the whole backing allocation this view keeps alive
+    /// (`>= len()`). Long-lived holders use this to decide whether a
+    /// view is worth compacting into its own allocation.
+    pub fn backing_len(&self) -> usize {
+        self.buf.len()
     }
 
     /// The bytes as a plain slice.
     pub fn as_ref_slice(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.off..self.off + self.len]
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_ref_slice().to_vec()
     }
 }
 
@@ -78,43 +130,49 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_ref_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_ref_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_ref_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(v: &'static [u8]) -> Bytes {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Bytes {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
+    }
+}
+
+impl From<Arc<[u8]>> for Bytes {
+    fn from(v: Arc<[u8]>) -> Bytes {
+        Bytes::from_arc(v)
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Bytes {
-        Bytes(Arc::from(v.as_bytes()))
+        Bytes::from_arc(Arc::from(v.as_bytes()))
     }
 }
 
@@ -124,35 +182,63 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+// Equality/order/hash are over *contents*, as for the real crate; two
+// views of the same allocation+range short-circuit without comparing
+// bytes, which makes comparing broadcast clones O(1).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        (Arc::ptr_eq(&self.buf, &other.buf) && self.off == other.off && self.len == other.len)
+            || self.as_ref_slice() == other.as_ref_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref_slice().cmp(other.as_ref_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref_slice().hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.0[..] == other
+        self.as_ref_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.0[..] == *other
+        self.as_ref_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.0[..] == other.as_slice()
+        self.as_ref_slice() == other.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter().take(32) {
+        for &b in self.iter().take(32) {
             if b.is_ascii_graphic() || b == b' ' {
                 write!(f, "{}", b as char)?;
             } else {
                 write!(f, "\\x{b:02x}")?;
             }
         }
-        if self.0.len() > 32 {
+        if self.len > 32 {
             write!(f, "..")?;
         }
         write!(f, "\"")
@@ -163,7 +249,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_ref_slice().iter()
     }
 }
 
@@ -176,6 +262,7 @@ mod tests {
         let b = Bytes::from(vec![1u8, 2, 3]);
         let c = b.clone();
         assert_eq!(b, c);
+        assert!(Bytes::shares_allocation(&b, &c), "clone must not copy");
         assert_eq!(&b[..], &[1, 2, 3]);
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
@@ -183,9 +270,60 @@ mod tests {
     }
 
     #[test]
-    fn slice_copies_subrange() {
+    fn slice_is_zero_copy() {
         let b = Bytes::from(vec![0u8, 1, 2, 3, 4]);
-        assert_eq!(&b.slice(1..4)[..], &[1, 2, 3]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(Bytes::shares_allocation(&b, &s), "slice must not copy");
         assert_eq!(&b.slice(..)[..], &b[..]);
+        // nested slices compose offsets
+        let ss = s.slice(1..=1);
+        assert_eq!(&ss[..], &[2]);
+        assert!(Bytes::shares_allocation(&b, &ss));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn equality_is_by_contents_across_allocations() {
+        let a = Bytes::from(vec![5u8, 6, 7]);
+        let b = Bytes::copy_from_slice(&[5, 6, 7]);
+        assert!(!Bytes::shares_allocation(&a, &b));
+        assert_eq!(a, b);
+        // distinct ranges of one allocation with equal contents
+        let c = Bytes::from(vec![9u8, 9]);
+        assert_eq!(c.slice(0..1), c.slice(1..2));
+    }
+
+    #[test]
+    fn ref_count_tracks_views() {
+        let a = Bytes::from(vec![1u8; 16]);
+        assert_eq!(a.ref_count(), 1);
+        let b = a.slice(4..8);
+        let c = a.clone();
+        assert_eq!(a.ref_count(), 3);
+        drop((b, c));
+        assert_eq!(a.ref_count(), 1);
+    }
+
+    #[test]
+    fn hash_and_ord_follow_contents() {
+        use std::collections::hash_map::DefaultHasher;
+        let whole = Bytes::from(vec![1u8, 2, 3, 4]);
+        let view = whole.slice(1..3);
+        let copy = Bytes::copy_from_slice(&[2, 3]);
+        let h = |b: &Bytes| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&view), h(&copy));
+        assert_eq!(view.cmp(&copy), std::cmp::Ordering::Equal);
+        let two = Bytes::copy_from_slice(&[2u8]);
+        assert!(whole < two);
     }
 }
