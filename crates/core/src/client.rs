@@ -1,17 +1,30 @@
-//! The ARES client actor: writers, readers and reconfigurers.
+//! The ARES client actor: a session multiplexer for writers, readers
+//! and reconfigurers.
 //!
 //! One actor type serves all three client roles (the paper separates the
 //! sets `W`, `R`, `G`; a harness simply sends each actor only the
-//! commands of its role). Commands are queued and executed one at a time
-//! — executions stay well-formed (one outstanding operation per client).
+//! commands of its role). The actor hosts many logical client *sessions*
+//! (see `crate::store`): each session executes its commands one at a
+//! time — its subhistory stays well-formed, exactly the paper's
+//! sequential client — while operations of *different* sessions run
+//! concurrently as independent protocol frame stacks inside this single
+//! actor. Incoming replies carry the [`OpId`] they answer and are routed
+//! to that operation's stack; timers are routed by per-operation tokens.
+//!
+//! Legacy [`crate::ClientCmd`] messages (`Msg::Cmd`) execute on the
+//! default session 0 and behave bit-identically to the seed's serial
+//! queue: one queue, one outstanding operation, tags minted under the
+//! host's own process id.
 
 use crate::frames::{Env, FStep, Frame, FrameOut, ReadFrame, ReconFrame, TransferMode, WriteFrame};
 use crate::msg::{ClientCmd, Msg};
+use crate::store::{session_op_seq, session_writer};
 use ares_sim::{Actor, Ctx};
 use ares_types::{
-    ConfigId, ConfigRegistry, ConfigSeq, ObjectId, OpCompletion, OpId, OpKind, ProcessId, Time,
+    ConfigId, ConfigRegistry, ConfigSeq, ObjectId, OpCompletion, OpId, OpKind, ProcessId,
+    SessionId, Time,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Tunables of a client.
@@ -56,28 +69,45 @@ impl ClientConfig {
     }
 }
 
-struct Running {
+/// One logical session's serial command lane.
+#[derive(Default)]
+struct SessionState {
+    /// Commands awaiting their turn, with their pre-assigned `OpId::seq`.
+    queue: VecDeque<(u64, ClientCmd)>,
+    /// The session's one outstanding operation, if any.
+    running: Option<OpId>,
+    /// Session-local counter for commands that arrive *without* a
+    /// pre-assigned seq (the legacy `Msg::Cmd` path).
+    next_seq: u64,
+}
+
+/// One in-flight operation: a protocol frame stack plus bookkeeping.
+struct OpState {
+    session: SessionId,
     frames: Vec<Frame>,
-    op: OpId,
     kind: OpKind,
     obj: ObjectId,
     invoked_at: Time,
     write_digest: Option<u64>,
+    /// The one timer token this operation currently accepts; tokens of
+    /// popped frames are invalidated by overwriting or clearing this.
+    timer: Option<u64>,
 }
 
-/// The ARES client process.
+/// The ARES client process: a multiplexer of logical sessions.
 pub struct ClientActor {
     registry: Arc<ConfigRegistry>,
     config: ClientConfig,
-    /// The client's persistent `cseq` state variable (Alg. 7).
+    /// The client's persistent `cseq` state variable (Alg. 7), shared by
+    /// all sessions: it only ever grows (entries are consensus
+    /// decisions), so completions merge into it in any order.
     cseq: ConfigSeq,
     rpc: u64,
-    op_seq: u64,
-    queue: VecDeque<ClientCmd>,
-    running: Option<Running>,
-    /// Timer-epoch guard: timers armed for frames that have since been
-    /// popped must not fire into their successors.
-    epoch: u64,
+    sessions: HashMap<SessionId, SessionState>,
+    inflight: HashMap<OpId, OpState>,
+    /// Armed timer tokens → the operation they belong to.
+    timer_ops: HashMap<u64, OpId>,
+    next_timer_token: u64,
 }
 
 impl ClientActor {
@@ -89,10 +119,10 @@ impl ClientActor {
             config,
             cseq,
             rpc: 0,
-            op_seq: 0,
-            queue: VecDeque::new(),
-            running: None,
-            epoch: 0,
+            sessions: HashMap::new(),
+            inflight: HashMap::new(),
+            timer_ops: HashMap::new(),
+            next_timer_token: 0,
         }
     }
 
@@ -101,13 +131,67 @@ impl ClientActor {
         &self.cseq
     }
 
-    fn start_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if self.running.is_some() {
+    /// Number of operations currently in flight across all sessions.
+    pub fn inflight_ops(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Folds a completed operation's discovered sequence into the shared
+    /// `cseq`. Completions of concurrent sessions arrive in arbitrary
+    /// order, so this must be a join, not an overwrite: statuses only
+    /// upgrade (P → F) and the chain only extends (configuration
+    /// uniqueness across clients is consensus's guarantee, which
+    /// `absorb` asserts).
+    fn merge_cseq(&mut self, seq: &ConfigSeq) {
+        for (i, e) in seq.iter().enumerate() {
+            self.cseq.absorb(i, *e);
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        sid: SessionId,
+        seq: Option<u64>,
+        cmd: ClientCmd,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        let sess = self.sessions.entry(sid).or_default();
+        let seq = match seq {
+            Some(s) => {
+                // Keep the local counter ahead of store-assigned seqs so
+                // a later legacy command on this session cannot collide.
+                sess.next_seq = sess.next_seq.max((s & 0xFFFF_FFFF) + 1);
+                s
+            }
+            None => {
+                let n = sess.next_seq;
+                sess.next_seq += 1;
+                session_op_seq(sid, n)
+            }
+        };
+        sess.queue.push_back((seq, cmd));
+        self.start_next(sid, ctx);
+    }
+
+    /// Starts the next queued command of `sid`, if the session is idle.
+    /// The operation is *invoked* (timestamped) here, not at submission,
+    /// which is what keeps queued-up sessions well-formed.
+    fn start_next(&mut self, sid: SessionId, ctx: &mut Ctx<'_, Msg>) {
+        let Some(sess) = self.sessions.get_mut(&sid) else { return };
+        if sess.running.is_some() {
             return;
         }
-        let Some(cmd) = self.queue.pop_front() else { return };
-        let op = OpId { client: ctx.pid(), seq: self.op_seq };
-        self.op_seq += 1;
+        let Some((seq, cmd)) = sess.queue.pop_front() else { return };
+        // Deployment-wide side of the session-writer scheme: EVERY
+        // client host must keep its id below 2^16, or it would alias
+        // some other host's `(session << 16) | host` logical writer and
+        // two concurrent writes could mint the same tag.
+        assert!(
+            ctx.pid().0 < crate::store::MAX_SESSIONS,
+            "client host id {} is reserved for session writer ids (hosts must stay below 2^16)",
+            ctx.pid()
+        );
+        let op = OpId { client: ctx.pid(), seq };
         let (frame, kind, obj, digest) = match cmd {
             ClientCmd::Write { obj, value } => {
                 let d = value.digest();
@@ -138,157 +222,160 @@ impl ClientActor {
                 )
             }
         };
+        self.sessions.get_mut(&sid).expect("session exists").running = Some(op);
         if ctx.tracing() {
             ctx.note(format!("+{}", frame.name()));
         }
-        self.running = Some(Running {
+        let mut st = OpState {
+            session: sid,
             frames: vec![frame],
-            op,
             kind,
             obj,
             invoked_at: ctx.now(),
             write_digest: digest,
-        });
-        let r = self.running.as_mut().expect("just set");
-        let mut env = Env {
-            me: ctx.pid(),
+            timer: None,
+        };
+        let step = {
+            let mut env = self.env(ctx.pid(), op, &st);
+            st.frames.last_mut().expect("one frame").start(&mut env)
+        };
+        self.pump(op, st, step, ctx);
+    }
+
+    /// Builds the frame environment for one transition of `op`.
+    fn env(&mut self, me: ProcessId, op: OpId, st: &OpState) -> Env<'_> {
+        Env {
+            me,
+            writer: session_writer(me, st.session),
             registry: &self.registry,
             rpc: &mut self.rpc,
             op,
-            obj,
+            obj: st.obj,
             mode: self.config.transfer_mode,
             backoff_unit: self.config.backoff_unit,
-        };
-        let step = r.frames.last_mut().expect("one frame").start(&mut env);
-        self.pump(step, ctx);
+        }
     }
 
-    /// Applies a frame step, cascading child pushes and completions.
-    fn pump(&mut self, mut step: FStep, ctx: &mut Ctx<'_, Msg>) {
+    /// Applies a frame step of `op`, cascading child pushes and
+    /// completions. Owns the [`OpState`] for the duration and re-inserts
+    /// it unless the operation finished.
+    fn pump(&mut self, op: OpId, mut st: OpState, mut step: FStep, ctx: &mut Ctx<'_, Msg>) {
         loop {
             for (to, m) in step.sends.drain(..) {
                 ctx.send(to, m);
             }
             if let Some(after) = step.timer.take() {
-                ctx.set_timer(after, self.epoch);
+                let token = self.next_timer_token;
+                self.next_timer_token += 1;
+                self.timer_ops.insert(token, op);
+                st.timer = Some(token); // any previously armed token is now stale
+                ctx.set_timer(after, token);
             }
-            let Some(r) = self.running.as_mut() else { return };
             if let Some(frame) = step.push.take() {
                 if ctx.tracing() {
                     ctx.note(format!("+{}", frame.name()));
                 }
-                r.frames.push(frame);
-                let mut env = Env {
-                    me: ctx.pid(),
-                    registry: &self.registry,
-                    rpc: &mut self.rpc,
-                    op: r.op,
-                    obj: r.obj,
-                    mode: self.config.transfer_mode,
-                    backoff_unit: self.config.backoff_unit,
-                };
-                step = r.frames.last_mut().expect("just pushed").start(&mut env);
+                st.frames.push(frame);
+                let mut env = self.env(ctx.pid(), op, &st);
+                step = st.frames.last_mut().expect("just pushed").start(&mut env);
                 continue;
             }
             if let Some(out) = step.out.take() {
-                let popped = r.frames.pop().expect("a frame completed");
+                let popped = st.frames.pop().expect("a frame completed");
                 if ctx.tracing() {
                     ctx.note(format!("-{}", popped.name()));
                 }
-                self.epoch += 1; // invalidate any timer of the popped frame
-                if let Some(parent) = r.frames.last_mut() {
-                    let mut env = Env {
-                        me: ctx.pid(),
-                        registry: &self.registry,
-                        rpc: &mut self.rpc,
-                        op: r.op,
-                        obj: r.obj,
-                        mode: self.config.transfer_mode,
-                        backoff_unit: self.config.backoff_unit,
-                    };
-                    step = parent.on_child(out, &mut env);
-                    continue;
+                st.timer = None; // invalidate any timer of the popped frame
+                if st.frames.is_empty() {
+                    // Stack empty: the operation finished.
+                    self.finish(op, st, out, ctx);
+                    return;
                 }
-                // Stack empty: the operation finished.
-                self.finish(out, ctx);
-                return;
+                let mut env = self.env(ctx.pid(), op, &st);
+                step = st.frames.last_mut().expect("non-empty").on_child(out, &mut env);
+                continue;
             }
-            return;
+            break;
         }
+        self.inflight.insert(op, st);
     }
 
-    fn finish(&mut self, out: FrameOut, ctx: &mut Ctx<'_, Msg>) {
-        let r = self.running.take().expect("an operation was running");
-        let mut c = OpCompletion::new(r.op, r.kind, r.invoked_at, ctx.now());
-        c.obj = r.obj;
+    fn finish(&mut self, op: OpId, st: OpState, out: FrameOut, ctx: &mut Ctx<'_, Msg>) {
+        let mut c = OpCompletion::new(op, st.kind, st.invoked_at, ctx.now());
+        c.obj = st.obj;
         match out {
             FrameOut::WriteDone(tag, seq) => {
                 c.tag = Some(tag);
-                c.value_digest = r.write_digest;
-                self.cseq = seq;
+                c.value_digest = st.write_digest;
+                self.merge_cseq(&seq);
             }
             FrameOut::ReadDone(tv, seq) => {
                 c.tag = Some(tv.tag);
                 c.value_digest = Some(tv.value.digest());
-                self.cseq = seq;
+                self.merge_cseq(&seq);
             }
             FrameOut::ReconDone(installed, seq) => {
                 c.installed = Some(installed);
-                self.cseq = seq;
+                self.merge_cseq(&seq);
             }
             other => unreachable!("operation finished with non-terminal output {other:?}"),
         }
         ctx.note(format!("{:?} {} completed (cseq now {})", c.kind, c.op, self.cseq));
         ctx.complete(c);
-        self.start_next(ctx);
+        let sid = st.session;
+        if let Some(sess) = self.sessions.get_mut(&sid) {
+            sess.running = None;
+        }
+        self.start_next(sid, ctx);
     }
 }
 
 impl Actor<Msg> for ClientActor {
     fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        use ares_sim::SimMessage;
         match msg {
-            Msg::Cmd(cmd) => {
-                self.queue.push_back(cmd);
-                self.start_next(ctx);
+            Msg::Cmd(cmd) => self.enqueue(SessionId(0), None, cmd, ctx),
+            Msg::Invoke(inv) => {
+                debug_assert_eq!(
+                    inv.seq >> 32,
+                    inv.session.0 as u64,
+                    "Invoke seq must live in its session's partition"
+                );
+                self.enqueue(inv.session, Some(inv.seq), inv.cmd, ctx);
             }
             other => {
-                let Some(r) = self.running.as_mut() else { return };
-                let mut env = Env {
-                    me: ctx.pid(),
-                    registry: &self.registry,
-                    rpc: &mut self.rpc,
-                    op: r.op,
-                    obj: r.obj,
-                    mode: self.config.transfer_mode,
-                    backoff_unit: self.config.backoff_unit,
+                // Route the reply to the operation it answers; stragglers
+                // for completed operations are dropped (their frames
+                // would have discarded them by rpc id anyway).
+                let Some(op) = other.op() else { return };
+                let Some(mut st) = self.inflight.remove(&op) else { return };
+                let step = {
+                    let mut env = self.env(ctx.pid(), op, &st);
+                    match st.frames.last_mut() {
+                        Some(top) => top.on_msg(from, &other, &mut env),
+                        None => return,
+                    }
                 };
-                let step = match r.frames.last_mut() {
-                    Some(top) => top.on_msg(from, &other, &mut env),
-                    None => return,
-                };
-                self.pump(step, ctx);
+                self.pump(op, st, step, ctx);
             }
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Msg>) {
-        if token != self.epoch {
-            return; // stale timer from a popped frame
+        let Some(op) = self.timer_ops.remove(&token) else { return };
+        let Some(st_ref) = self.inflight.get(&op) else { return };
+        if st_ref.timer != Some(token) {
+            return; // stale: the frame that armed it was popped or re-armed
         }
-        let Some(r) = self.running.as_mut() else { return };
-        let mut env = Env {
-            me: ctx.pid(),
-            registry: &self.registry,
-            rpc: &mut self.rpc,
-            op: r.op,
-            obj: r.obj,
-            mode: self.config.transfer_mode,
-            backoff_unit: self.config.backoff_unit,
+        let mut st = self.inflight.remove(&op).expect("present above");
+        st.timer = None;
+        let step = {
+            let mut env = self.env(ctx.pid(), op, &st);
+            match st.frames.last_mut() {
+                Some(top) => top.on_timer(&mut env),
+                None => return,
+            }
         };
-        let step = match r.frames.last_mut() {
-            Some(top) => top.on_timer(&mut env),
-            None => return,
-        };
-        self.pump(step, ctx);
+        self.pump(op, st, step, ctx);
     }
 }

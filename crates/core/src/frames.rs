@@ -39,7 +39,15 @@ pub enum TransferMode {
 
 /// Mutable environment threaded through frame transitions.
 pub(crate) struct Env<'a> {
+    /// The *host* process id: the network-routable identity replies and
+    /// direct sends (e.g. `XferAck`) are addressed to.
     pub me: ProcessId,
+    /// The *logical* writer id of the invoking session. Tags and Paxos
+    /// ballots are minted under this id, so concurrent sessions
+    /// multiplexed over one host never collide on either (the paper's
+    /// model gives every sequential client its own id; a session is that
+    /// client). Equal to `me` for the default session.
+    pub writer: ProcessId,
     pub registry: &'a Arc<ConfigRegistry>,
     pub rpc: &'a mut u64,
     pub op: OpId,
@@ -311,7 +319,10 @@ impl ProposeFrame {
             quorum: self.base.quorum_size(),
             backoff_unit: env.backoff_unit,
         };
-        let (p, step) = Proposer::start(cfg, env.me, env.op, self.value, *env.rpc);
+        // Ballots are ordered by (round, proposer id): concurrent
+        // reconfig sessions of one host propose under their distinct
+        // logical writer ids so their ballots stay unique.
+        let (p, step) = Proposer::start(cfg, env.writer, env.op, self.value, *env.rpc);
         *env.rpc += 2; // prepare + accept phase ids
         self.proposer = Some(p);
         wrap_con(step, env)
@@ -459,8 +470,10 @@ impl WriteFrame {
                     let cfg = env.cfg(self.seq.get(self.i).cfg);
                     FStep::push(Frame::Dap(DapFrame::new(cfg, env.obj, DapAction::GetTag)))
                 } else {
-                    // ⟨τ, v⟩ ← ⟨(τ_max.ts + 1, ω_i), val⟩
-                    self.tag = self.tau_max.increment(env.me);
+                    // ⟨τ, v⟩ ← ⟨(τ_max.ts + 1, ω_i), val⟩ — ω_i is the
+                    // *session's* writer id: concurrent sessions of one
+                    // host must mint distinct tags.
+                    self.tag = self.tau_max.increment(env.writer);
                     self.phase = RwPhase::Propagate;
                     self.put_last(env)
                 }

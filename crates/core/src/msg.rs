@@ -11,7 +11,7 @@ use ares_codes::Fragment;
 use ares_consensus::ConMsg;
 use ares_dap::DapMsg;
 use ares_sim::SimMessage;
-use ares_types::{ConfigEntry, ConfigId, ObjectId, OpId, ProcessId, RpcId, Tag, Value};
+use ares_types::{ConfigEntry, ConfigId, ObjectId, OpId, ProcessId, RpcId, SessionId, Tag, Value};
 
 /// Configuration-service messages (Alg. 4 / Alg. 6).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +165,23 @@ pub enum ClientCmd {
     },
 }
 
+/// A session-attributed client invocation (the store frontends' command
+/// envelope; injected by the environment like [`ClientCmd`], never
+/// protocol traffic).
+///
+/// `seq` is the full [`OpId::seq`] value chosen by the submitting store
+/// (see `crate::store::session_op_seq`), so the ticket that routes the
+/// eventual completion knows its `OpId` at submission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invoke {
+    /// The logical session this invocation belongs to.
+    pub session: SessionId,
+    /// The operation's `OpId::seq`, pre-assigned by the submitter.
+    pub seq: u64,
+    /// The command.
+    pub cmd: ClientCmd,
+}
+
 /// The unified message type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
@@ -179,8 +196,11 @@ pub enum Msg {
     /// Fragment-repair traffic (this reproduction's future-work
     /// extension; see `crate::repair`).
     Repair(RepairMsg),
-    /// Harness command.
+    /// Harness command (legacy serial path: executes on the default
+    /// session's queue).
     Cmd(ClientCmd),
+    /// Session-attributed client invocation (the `Store` frontends).
+    Invoke(Invoke),
 }
 
 impl SimMessage for Msg {
@@ -200,7 +220,7 @@ impl SimMessage for Msg {
             Msg::Cfg(m) => Some(m.op()),
             Msg::Xfer(m) => Some(m.op()),
             Msg::Repair(m) => m.op(),
-            Msg::Cmd(_) => None,
+            Msg::Cmd(_) | Msg::Invoke(_) => None,
         }
     }
 
@@ -232,6 +252,14 @@ impl SimMessage for Msg {
             Msg::Cmd(ClientCmd::Write { .. }) => "INVOKE-WRITE".into(),
             Msg::Cmd(ClientCmd::Read { .. }) => "INVOKE-READ".into(),
             Msg::Cmd(ClientCmd::Recon { target }) => format!("INVOKE-RECON({target})"),
+            Msg::Invoke(inv) => {
+                let what = match &inv.cmd {
+                    ClientCmd::Write { .. } => "WRITE",
+                    ClientCmd::Read { .. } => "READ",
+                    ClientCmd::Recon { .. } => "RECON",
+                };
+                format!("INVOKE-{what}[{}]", inv.session)
+            }
         }
     }
 }

@@ -9,7 +9,10 @@
 //! * [`workload`] — seeded random workload generation (writers, readers,
 //!   reconfigurers);
 //! * [`atomicity`] — the checker for the paper's safety property: every
-//!   execution history produced by a scenario can be verified atomic.
+//!   execution history produced by a scenario can be verified atomic;
+//! * [`store`] — the session-multiplexed [`SimStore`]: the
+//!   `ares_core::store` API (cheap sessions, ticketed pipelined
+//!   operations) over the deterministic simulator.
 //!
 //! The integration tests under `tests/` and every experiment binary in
 //! `ares-bench` are built from these pieces.
@@ -17,6 +20,7 @@
 pub mod atomicity;
 pub mod linearize;
 pub mod scenario;
+pub mod store;
 pub mod workload;
 
 pub use atomicity::{check_atomicity, AtomicityReport, Violation};
@@ -24,6 +28,7 @@ pub use linearize::{check_linearizable, LinResult};
 pub use scenario::{
     standard_registry, standard_universe, Invocation, Scenario, ScenarioResult, ENV,
 };
+pub use store::{SimSession, SimStore, SimStoreBuilder, SimTicket};
 pub use workload::WorkloadSpec;
 
 /// Runs `f` over `seeds` in parallel (one scoped thread per chunk of

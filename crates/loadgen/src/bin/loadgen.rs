@@ -1,18 +1,24 @@
-//! `loadgen` — the throughput/latency experiment (E13 in
-//! `EXPERIMENTS.md`): runs the wire-path before/after A/B plus
-//! closed-loop workloads over the simulator and a live loopback
-//! cluster, checks every history for atomicity, prints a summary table
-//! and writes `BENCH_throughput.json` (schema documented in README).
+//! `loadgen` — the throughput/latency experiments (E13/E14 in
+//! `EXPERIMENTS.md`): runs the wire-path before/after A/B, closed-loop
+//! workloads over the simulator and a live loopback cluster, and the
+//! session-multiplexing A/B (64 thread-per-client `RemoteClient`s vs 64
+//! logical sessions over ONE client runtime) plus open-loop runs;
+//! checks every history for atomicity, prints a summary table and
+//! writes `BENCH_throughput.json` + `BENCH_sessions.json` (schemas
+//! documented in README).
 //!
 //! Usage: `cargo run --release -p ares-loadgen --bin loadgen --
-//! [--quick] [--out PATH]`
+//! [--quick] [--out PATH] [--sessions-out PATH]`
 //!
 //! `--quick` shrinks every dimension for CI smoke runs (a few seconds);
 //! the default sizing targets a laptop-scale minute.
 
 use ares_loadgen::json::JsonWriter;
 use ares_loadgen::wirebench::{abd_write_pipeline, treas_write_pipeline, AbResult};
-use ares_loadgen::{run_cluster, run_sim, LatencyHistogram, LoadReport, LoadSpec};
+use ares_loadgen::{
+    run_cluster, run_cluster_sessions, run_open_loop_cluster, run_open_loop_sim, run_sim,
+    LatencyHistogram, LoadReport, LoadSpec, OpenLoopReport, OpenLoopSpec,
+};
 use ares_types::{ConfigId, Configuration, ProcessId};
 
 struct Workload {
@@ -44,6 +50,11 @@ fn hist_json(w: &mut JsonWriter, key: &str, h: &LatencyHistogram) {
 fn report_json(w: &mut JsonWriter, name: &str, spec: &LoadSpec, r: &LoadReport) {
     w.begin_object();
     w.string("workload", name);
+    report_json_body(w, spec, r);
+    w.end_object();
+}
+
+fn report_json_body(w: &mut JsonWriter, spec: &LoadSpec, r: &LoadReport) {
     w.u64("clients", spec.clients as u64);
     w.u64("objects", spec.objects as u64);
     w.u64("value_bytes", spec.value_size as u64);
@@ -56,7 +67,6 @@ fn report_json(w: &mut JsonWriter, name: &str, spec: &LoadSpec, r: &LoadReport) 
     w.f64("value_mib_per_sec", r.value_mib_per_sec);
     hist_json(w, "read_latency", &r.read_hist);
     hist_json(w, "write_latency", &r.write_hist);
-    w.end_object();
 }
 
 fn ab_json(w: &mut JsonWriter, r: &AbResult) {
@@ -74,6 +84,22 @@ fn ab_json(w: &mut JsonWriter, r: &AbResult) {
         w.end_object();
     }
     w.f64("speedup", r.speedup());
+    w.end_object();
+}
+
+fn open_loop_json(w: &mut JsonWriter, backend: &str, spec: &OpenLoopSpec, r: &OpenLoopReport) {
+    w.begin_object();
+    w.string("backend", backend);
+    w.u64("sessions", spec.sessions as u64);
+    w.u64("objects", spec.objects as u64);
+    w.u64("value_bytes", spec.value_size as u64);
+    w.u64("read_percent", spec.read_percent as u64);
+    w.f64("target_ops_per_sec", r.offered_ops_per_sec);
+    w.f64("achieved_ops_per_sec", r.achieved_ops_per_sec);
+    w.u64("ops", r.ops);
+    w.f64("elapsed_secs", r.elapsed_secs);
+    hist_json(w, "read_sojourn", &r.read_sojourn);
+    hist_json(w, "write_sojourn", &r.write_sojourn);
     w.end_object();
 }
 
@@ -95,6 +121,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let sessions_out_path = args
+        .iter()
+        .position(|a| a == "--sessions-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sessions.json".to_string());
 
     println!("# loadgen (quick={quick}) — closed-loop throughput + wire-path A/B\n");
 
@@ -199,18 +231,105 @@ fn main() {
     std::fs::write(&out_path, w.finish() + "\n").expect("write bench json");
     println!("\nwrote {out_path}");
 
-    // The acceptance gate of the PR: the 1 MiB TREAS [5,3] write
-    // pipeline must be measurably faster than the seed's. Enforced in
-    // the full run; quick CI runs only report.
+    // ---- session multiplexing A/B + open loop ----------------------
+    // The headline of the session-store redesign: N concurrent logical
+    // clients as sessions over ONE client runtime (one socket set, one
+    // event loop) vs the seed's model of N thread-per-client
+    // RemoteClients, same servers, same ops, small-value TREAS [5,3].
+    let (ab_clients, ab_ops) = if quick { (12, 6) } else { (64, 24) };
+    let session_spec = LoadSpec {
+        clients: ab_clients,
+        objects: 8,
+        value_size: 256,
+        read_percent: 50,
+        ops_per_client: ab_ops,
+        seed: 21,
+    };
+    println!("\n# sessions A/B: {ab_clients} logical clients, 256 B TREAS [5,3], 50% reads");
+    let baseline = run_cluster(&session_spec, treas53()).expect("baseline bring-up");
+    baseline.assert_atomic();
+    print_report("cluster", "64x thread-per-client", &baseline);
+    let sessions = run_cluster_sessions(&session_spec, treas53()).expect("sessions bring-up");
+    sessions.assert_atomic();
+    print_report("cluster", "64x sessions/1 runtime", &sessions);
+    let ratio = sessions.ops_per_sec / baseline.ops_per_sec.max(1e-9);
+    println!("sessions-over-one-runtime vs thread-per-client throughput: {ratio:.2}×");
+
+    let ol_cluster_spec = OpenLoopSpec {
+        sessions: if quick { 8 } else { 32 },
+        objects: 8,
+        value_size: 256,
+        read_percent: 50,
+        target_ops_per_sec: if quick { 300.0 } else { 1200.0 },
+        total_ops: if quick { 150 } else { 1800 },
+        seed: 22,
+    };
+    let ol_cluster = run_open_loop_cluster(&ol_cluster_spec, treas53()).expect("open-loop cluster");
+    ol_cluster.assert_atomic();
+    println!(
+        "open-loop cluster: offered {:.0}/s achieved {:.0}/s  w sojourn p50/p99 {}/{} µs",
+        ol_cluster.offered_ops_per_sec,
+        ol_cluster.achieved_ops_per_sec,
+        ol_cluster.write_sojourn.percentiles().0,
+        ol_cluster.write_sojourn.percentiles().1,
+    );
+    let ol_sim_spec = OpenLoopSpec {
+        sessions: 16,
+        objects: 4,
+        value_size: 4096,
+        read_percent: 50,
+        target_ops_per_sec: 2000.0,
+        total_ops: if quick { 120 } else { 600 },
+        seed: 23,
+    };
+    let ol_sim = run_open_loop_sim(&ol_sim_spec, treas53());
+    ol_sim.assert_atomic();
+    println!(
+        "open-loop sim:     offered {:.0}/s achieved {:.0}/s (deterministic)",
+        ol_sim.offered_ops_per_sec, ol_sim.achieved_ops_per_sec
+    );
+
+    // ---- emit BENCH_sessions.json -----------------------------------
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.string("schema", "ares-bench-sessions/v1");
+    w.string("mode", if quick { "quick" } else { "full" });
+    w.begin_object_key("closed_loop_ab");
+    w.string("config", "treas53");
+    w.u64("logical_clients", session_spec.clients as u64);
+    w.begin_object_key("baseline_thread_per_client");
+    report_json_body(&mut w, &session_spec, &baseline);
+    w.end_object();
+    w.begin_object_key("sessions_one_runtime");
+    report_json_body(&mut w, &session_spec, &sessions);
+    w.end_object();
+    w.f64("throughput_ratio", ratio);
+    w.end_object();
+    w.begin_array_key("open_loop");
+    open_loop_json(&mut w, "cluster", &ol_cluster_spec, &ol_cluster);
+    open_loop_json(&mut w, "sim", &ol_sim_spec, &ol_sim);
+    w.end_array();
+    w.end_object();
+    std::fs::write(&sessions_out_path, w.finish() + "\n").expect("write sessions json");
+    println!("wrote {sessions_out_path}");
+
+    // The acceptance gates: the 1 MiB TREAS [5,3] write pipeline must
+    // stay measurably faster than the seed's, and one session-
+    // multiplexed runtime must beat thread-per-client at equal client
+    // counts. Enforced in the full run; quick CI runs only report.
     if !quick {
         assert!(
             treas_ab.speedup() >= 1.5,
             "TREAS [5,3] 1 MiB write pipeline regressed: {:.2}×",
             treas_ab.speedup()
         );
+        assert!(
+            ratio > 1.0,
+            "sessions over one runtime must out-throughput thread-per-client: {ratio:.2}×"
+        );
     }
     println!(
-        "every history atomic ✓; TREAS 1 MiB write pipeline speedup {:.2}×",
+        "every history atomic ✓; TREAS 1 MiB write pipeline speedup {:.2}×; sessions A/B {ratio:.2}×",
         treas_ab.speedup()
     );
 }

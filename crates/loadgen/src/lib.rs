@@ -1,40 +1,52 @@
-//! Closed-loop load generation for the ARES reproduction.
+//! Load generation for the ARES reproduction.
 //!
 //! The TREAS cost theorems (E1/E2) pin *what* the protocols transmit and
 //! store; this crate pins *how fast* the implementation moves it. It
-//! drives closed-loop, multi-client, multi-object read/write-mix
-//! workloads over two backends —
+//! drives multi-client, multi-object read/write-mix workloads over both
+//! backends of the session-multiplexed store API —
 //!
-//! * [`run_sim`] — the deterministic simulator (each client's whole
-//!   command sequence is queued up front; the client actor executes it
-//!   serially, which *is* a closed loop);
-//! * [`run_cluster`] — a live [`ares_net::testing::LocalCluster`]: one
-//!   OS thread per client issuing blocking operations over real TCP;
+//! * [`run_sim`] — closed loop over `ares_harness::SimStore`: one
+//!   multiplexing client actor in the deterministic simulator, one
+//!   logical session per configured client, each session submitting its
+//!   next command as its previous ticket completes;
+//! * [`run_cluster`] — the thread-per-client *baseline*: one
+//!   [`ares_net::RemoteClient`] (socket set + listener + blocked OS
+//!   thread) per client over a live [`ares_net::testing::LocalCluster`];
+//! * [`run_cluster_sessions`] — the session-multiplexed counterpart:
+//!   ONE `ares_net::NetStore` hosting every client as a logical session,
+//!   driven closed-loop from a single thread via ticket polling;
+//! * [`openloop`] — open-loop drivers (target arrival rate,
+//!   deterministic seeded inter-arrival jitter) the closed-loop API
+//!   could not express, over both backends;
 //!
 //! — and reports throughput plus p50/p99/p99.9 latency histograms
 //! ([`LatencyHistogram`]). Every run returns its completion history so
 //! callers can feed [`ares_harness::check_atomicity`]: the perf harness
 //! is itself safety-checked.
 //!
-//! The [`wirebench`] module holds the before/after A/B of this PR's
-//! encode-once / share-don't-copy hot path; the `loadgen` binary ties
-//! everything together and emits `BENCH_throughput.json` (schema in the
-//! repo README).
+//! The [`wirebench`] module holds the before/after A/B of the
+//! encode-once / share-don't-copy wire path; the `loadgen` binary ties
+//! everything together and emits `BENCH_throughput.json` plus
+//! `BENCH_sessions.json` (schemas in the repo README).
 
 mod hist;
 pub mod json;
+pub mod openloop;
 pub mod wirebench;
 
 pub use hist::LatencyHistogram;
+pub use openloop::{run_open_loop_cluster, run_open_loop_sim, OpenLoopReport, OpenLoopSpec};
 
-use ares_core::ClientCmd;
-use ares_harness::{Invocation, Scenario};
+use ares_core::store::{Store, StoreSession};
+use ares_core::{ClientCmd, OpTicket};
+use ares_harness::SimStore;
 use ares_net::testing::LocalCluster;
-use ares_types::{Configuration, ObjectId, OpCompletion, OpKind, Time, Value};
+use ares_types::{Configuration, ObjectId, OpCompletion, OpKind, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
 use std::io;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Parameters of a closed-loop workload.
 #[derive(Debug, Clone)]
@@ -148,39 +160,134 @@ impl LoadReport {
     }
 }
 
+/// The closed-loop driver state of one session set.
+struct SessionLoop<S: StoreSession> {
+    sessions: Vec<S>,
+    pending: Vec<VecDeque<ClientCmd>>,
+    outstanding: Vec<Option<S::Ticket>>,
+    read_hist: LatencyHistogram,
+    write_hist: LatencyHistogram,
+    completions: Vec<OpCompletion>,
+}
+
+impl<S: StoreSession> SessionLoop<S> {
+    /// Opens one session per client stream and submits each stream's
+    /// first command.
+    fn start(store: &impl Store<Session = S>, spec: &LoadSpec) -> Self {
+        let mut sessions: Vec<S> = (0..spec.clients).map(|_| store.open_session()).collect();
+        let mut pending: Vec<VecDeque<ClientCmd>> =
+            (0..spec.clients).map(|i| spec.client_ops(i).into()).collect();
+        let outstanding = sessions
+            .iter_mut()
+            .zip(&mut pending)
+            .map(|(s, q)| q.pop_front().map(|cmd| s.submit(cmd).expect("submit")))
+            .collect();
+        SessionLoop {
+            sessions,
+            pending,
+            outstanding,
+            read_hist: LatencyHistogram::new(),
+            write_hist: LatencyHistogram::new(),
+            completions: Vec::with_capacity(spec.total_ops()),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.outstanding.iter().all(Option::is_none)
+    }
+
+    /// One sweep: collect finished tickets, record their latencies
+    /// (the runtime's invoke→complete span), submit each freed
+    /// session's next command.
+    fn sweep(&mut self) {
+        for i in 0..self.outstanding.len() {
+            let Some(mut t) = self.outstanding[i].take() else { continue };
+            match t.try_wait() {
+                Some(res) => {
+                    let c = res.expect("completions route Ok");
+                    match c.kind {
+                        OpKind::Read => self.read_hist.record(c.latency()),
+                        OpKind::Write => self.write_hist.record(c.latency()),
+                        OpKind::Recon => {}
+                    }
+                    self.completions.push(c);
+                    self.outstanding[i] = self.pending[i]
+                        .pop_front()
+                        .map(|cmd| self.sessions[i].submit(cmd).expect("submit"));
+                }
+                None => self.outstanding[i] = Some(t),
+            }
+        }
+    }
+
+    fn into_report(self, elapsed_secs: f64, value_size: usize) -> LoadReport {
+        LoadReport::from_parts(
+            elapsed_secs,
+            value_size,
+            self.read_hist,
+            self.write_hist,
+            self.completions,
+        )
+    }
+}
+
 /// Runs `spec` against the deterministic simulator over `configs`
-/// (genesis first). Closed-loop: each client's whole sequence is queued
-/// at the start and executed serially by its actor; latency is the
+/// (genesis first): one multiplexing client actor, one logical session
+/// per configured client, each session closed-loop (its next command is
+/// submitted the moment its previous ticket completes). Latency is the
 /// actor's invoke→complete span in simulated microseconds.
 pub fn run_sim(spec: &LoadSpec, configs: Vec<Configuration>) -> LoadReport {
-    let client_ids: Vec<u32> = (0..spec.clients as u32).map(|i| 100 + i).collect();
-    let mut scenario = Scenario::new(configs).clients(client_ids.iter().copied()).seed(spec.seed);
-    for (index, &client) in client_ids.iter().enumerate() {
-        for (op_i, cmd) in spec.client_ops(index).into_iter().enumerate() {
-            scenario = scenario.invoke(Invocation {
-                at: 1 + op_i as Time, // arrival order only; execution is serial per client
-                client: ares_types::ProcessId(client),
-                cmd,
-            });
-        }
+    let store =
+        SimStore::builder(configs).objects(0..spec.objects.max(1) as u32).seed(spec.seed).build();
+    let mut driver = SessionLoop::start(&store, spec);
+    while !driver.done() {
+        let progressed = store.step();
+        driver.sweep();
+        assert!(
+            progressed || driver.done(),
+            "simulated load quiesced with operations outstanding (liveness bug)"
+        );
     }
-    let res = scenario.run();
-    let mut read_hist = LatencyHistogram::new();
-    let mut write_hist = LatencyHistogram::new();
-    for c in &res.completions {
-        match c.kind {
-            OpKind::Read => read_hist.record(c.latency()),
-            OpKind::Write => write_hist.record(c.latency()),
-            OpKind::Recon => {}
-        }
+    driver.into_report(store.now() as f64 / 1e6, spec.value_size)
+}
+
+/// Runs `spec` as sessions multiplexed over ONE live client runtime:
+/// a single [`ares_net::NetStore`] (one socket set, one event loop)
+/// hosts `spec.clients` logical sessions, driven closed-loop from one
+/// thread via ticket polling. The counterpart baseline is
+/// [`run_cluster`]'s thread-per-client deployment; compare their
+/// aggregate throughput at equal client counts.
+///
+/// Latency is the runtime's invoke→complete span per operation (the
+/// same clock the completion records carry).
+///
+/// # Errors
+///
+/// Propagates socket errors from cluster bring-up.
+pub fn run_cluster_sessions(
+    spec: &LoadSpec,
+    configs: Vec<Configuration>,
+) -> io::Result<LoadReport> {
+    let cluster = LocalCluster::builder(configs)
+        .clients([100])
+        .objects(0..spec.objects.max(1) as u32)
+        .start()?;
+    let store = cluster.store(100);
+    let t0 = Instant::now();
+    let mut driver = SessionLoop::start(store, spec);
+    let mut seen = 0u64;
+    while !driver.done() {
+        assert!(
+            t0.elapsed() < ares_net::DEFAULT_OP_TIMEOUT + Duration::from_secs(240),
+            "session workload did not complete (liveness bug)"
+        );
+        // Sleep until the runtime routes another completion, then sweep.
+        seen = store.wait_progress(seen, Duration::from_millis(100));
+        driver.sweep();
     }
-    LoadReport::from_parts(
-        res.finished_at as f64 / 1e6,
-        spec.value_size,
-        read_hist,
-        write_hist,
-        res.completions,
-    )
+    let elapsed = t0.elapsed().as_secs_f64();
+    cluster.shutdown();
+    Ok(driver.into_report(elapsed, spec.value_size))
 }
 
 /// Runs `spec` against a live loopback TCP cluster over `configs`

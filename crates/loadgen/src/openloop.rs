@@ -1,0 +1,335 @@
+//! Open-loop load generation over the session-multiplexed store API.
+//!
+//! A closed-loop driver submits a new operation only when the previous
+//! one completes, so the offered load collapses to whatever the system
+//! sustains — it can never exhibit queueing delay. An *open-loop* driver
+//! submits on an arrival schedule regardless of completions: the thing
+//! the seed's blocking one-op-per-client API could not express, and
+//! exactly what ticketed sessions make trivial — arrivals are
+//! `session.submit(...)` calls that never block, and completions are
+//! routed back by `OpId` whenever they land.
+//!
+//! Arrivals are deterministic given the seed: inter-arrival gaps are
+//! `base × jitter` with `jitter` drawn uniformly from `[0.5, 1.5)` out
+//! of a seeded RNG (mean gap = `1 / target_ops_per_sec`). Each arrival
+//! is assigned round-robin to one of `sessions` logical sessions; a
+//! session whose previous operation is still running queues the arrival
+//! in the runtime (the submission timestamp is still the *arrival*, so
+//! reported sojourn times include queueing delay, as open-loop metrics
+//! must).
+//!
+//! Both backends run the same schedule: [`run_open_loop_cluster`] on a
+//! live loopback TCP cluster (wall-clock µs), [`run_open_loop_sim`] in
+//! the deterministic simulator (simulated µs, bit-reproducible).
+
+use crate::hist::LatencyHistogram;
+use ares_core::store::{Store, StoreSession};
+use ares_core::{ClientCmd, OpTicket};
+use ares_harness::SimStore;
+use ares_net::testing::LocalCluster;
+use ares_types::{Configuration, ObjectId, OpCompletion, OpKind, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Parameters of an open-loop workload.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Number of logical sessions the arrivals are spread over.
+    pub sessions: usize,
+    /// Number of objects operations are spread over.
+    pub objects: usize,
+    /// Written / expected value size in bytes.
+    pub value_size: usize,
+    /// Percentage of operations that are reads (0..=100).
+    pub read_percent: u32,
+    /// Target arrival rate, operations per second.
+    pub target_ops_per_sec: f64,
+    /// Total operations the schedule offers (bounds the run).
+    pub total_ops: usize,
+    /// RNG seed (inter-arrival jitter, object choice, mix, values).
+    pub seed: u64,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            sessions: 16,
+            objects: 4,
+            value_size: 256,
+            read_percent: 50,
+            target_ops_per_sec: 500.0,
+            total_ops: 500,
+            seed: 1,
+        }
+    }
+}
+
+impl OpenLoopSpec {
+    /// The deterministic arrival schedule: µs offsets from the run
+    /// start, strictly non-decreasing, mean gap `1e6 / target rate`.
+    pub fn arrivals(&self) -> Vec<u64> {
+        assert!(self.target_ops_per_sec > 0.0, "target rate must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4F50_454E_4C50_0001);
+        let base = 1e6 / self.target_ops_per_sec;
+        let mut t = 0.0f64;
+        (0..self.total_ops)
+            .map(|_| {
+                let at = t as u64;
+                // jitter ∈ [0.5, 1.5): ±50% around the mean gap.
+                let jitter = 0.5 + rng.random_range(0..1_000_000u64) as f64 / 1e6;
+                t += base * jitter;
+                at
+            })
+            .collect()
+    }
+
+    /// The i-th command of the schedule (random-access, deterministic).
+    pub fn cmd(&self, i: usize) -> ClientCmd {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let obj = ObjectId(rng.random_range(0..self.objects.max(1)) as u32);
+        if rng.random_range(0..100u32) < self.read_percent {
+            ClientCmd::Read { obj }
+        } else {
+            // Globally unique value seed so every write digest is
+            // distinct (checker-friendly).
+            let vseed = self.seed ^ (((i as u64 + 1) << 20) | 0xBEEF);
+            ClientCmd::Write { obj, value: Value::filler(self.value_size, vseed) }
+        }
+    }
+}
+
+/// Outcome of one open-loop run.
+pub struct OpenLoopReport {
+    /// The offered arrival rate (from the spec).
+    pub offered_ops_per_sec: f64,
+    /// Completed operations per wall/sim second (a healthy system
+    /// matches the offered rate; lower means the runtime saturated and
+    /// queues grew).
+    pub achieved_ops_per_sec: f64,
+    /// Completed operations.
+    pub ops: u64,
+    /// Completed reads / writes.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Run duration (first arrival to last completion), seconds.
+    pub elapsed_secs: f64,
+    /// Read sojourn distribution (scheduled arrival → completion, µs;
+    /// includes session queueing delay).
+    pub read_sojourn: LatencyHistogram,
+    /// Write sojourn distribution (µs).
+    pub write_sojourn: LatencyHistogram,
+    /// The completion history, for atomicity checking.
+    pub completions: Vec<OpCompletion>,
+}
+
+impl OpenLoopReport {
+    fn from_parts(
+        offered: f64,
+        elapsed_secs: f64,
+        read_sojourn: LatencyHistogram,
+        write_sojourn: LatencyHistogram,
+        completions: Vec<OpCompletion>,
+    ) -> Self {
+        let reads = read_sojourn.count();
+        let writes = write_sojourn.count();
+        let ops = reads + writes;
+        OpenLoopReport {
+            offered_ops_per_sec: offered,
+            achieved_ops_per_sec: ops as f64 / elapsed_secs.max(1e-9),
+            ops,
+            reads,
+            writes,
+            elapsed_secs,
+            read_sojourn,
+            write_sojourn,
+            completions,
+        }
+    }
+
+    /// Panics unless the recorded history is atomic.
+    pub fn assert_atomic(&self) {
+        ares_harness::check_atomicity(&self.completions).assert_atomic();
+    }
+}
+
+fn record(
+    read_sojourn: &mut LatencyHistogram,
+    write_sojourn: &mut LatencyHistogram,
+    arrival_us: u64,
+    c: &OpCompletion,
+) {
+    let sojourn = c.completed_at.saturating_sub(arrival_us);
+    match c.kind {
+        OpKind::Read => read_sojourn.record(sojourn),
+        OpKind::Write => write_sojourn.record(sojourn),
+        OpKind::Recon => {}
+    }
+}
+
+/// Runs `spec` open-loop against a live loopback TCP cluster: one
+/// [`ares_net::NetStore`] client runtime, `spec.sessions` sessions, one
+/// driver thread submitting on the wall-clock arrival schedule.
+///
+/// # Errors
+///
+/// Propagates socket errors from cluster bring-up.
+///
+/// # Panics
+///
+/// Panics if an operation fails to complete within the drain deadline
+/// (a liveness failure in a test deployment).
+pub fn run_open_loop_cluster(
+    spec: &OpenLoopSpec,
+    configs: Vec<Configuration>,
+) -> io::Result<OpenLoopReport> {
+    let cluster = LocalCluster::builder(configs)
+        .clients([100])
+        .objects(0..spec.objects.max(1) as u32)
+        .start()?;
+    let store = cluster.store(100);
+    let mut sessions: Vec<_> = (0..spec.sessions.max(1)).map(|_| store.open_session()).collect();
+    let arrivals = spec.arrivals();
+
+    let mut read_sojourn = LatencyHistogram::new();
+    let mut write_sojourn = LatencyHistogram::new();
+    let mut completions = Vec::with_capacity(spec.total_ops);
+    // (absolute arrival µs, ticket) of not-yet-collected operations.
+    let mut outstanding: Vec<(u64, ares_net::NetTicket)> = Vec::new();
+
+    let t0_wall = Instant::now();
+    let t0 = store.now_micros();
+    for (i, &offset) in arrivals.iter().enumerate() {
+        let due = t0 + offset;
+        loop {
+            let now = store.now_micros();
+            if now >= due {
+                break;
+            }
+            // Idle until the arrival: sweep finished tickets, then nap.
+            outstanding.retain_mut(|(arrival, t)| match t.try_wait() {
+                Some(res) => {
+                    let c = res.expect("completions route Ok");
+                    record(&mut read_sojourn, &mut write_sojourn, *arrival, &c);
+                    completions.push(c);
+                    false
+                }
+                None => true,
+            });
+            let now = store.now_micros();
+            if now >= due {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros((due - now).min(500)));
+        }
+        let k = i % sessions.len();
+        let ticket = sessions[k].submit(spec.cmd(i)).expect("open-loop submission");
+        outstanding.push((due, ticket));
+    }
+    // Drain: every offered operation must complete.
+    for (arrival, t) in outstanding {
+        let c =
+            t.wait_for(ares_net::DEFAULT_OP_TIMEOUT).expect("open-loop operation did not complete");
+        record(&mut read_sojourn, &mut write_sojourn, arrival, &c);
+        completions.push(c);
+    }
+    let elapsed = t0_wall.elapsed().as_secs_f64();
+    cluster.shutdown();
+    Ok(OpenLoopReport::from_parts(
+        spec.target_ops_per_sec,
+        elapsed,
+        read_sojourn,
+        write_sojourn,
+        completions,
+    ))
+}
+
+/// Runs `spec` open-loop in the deterministic simulator: the whole
+/// arrival schedule is posted up front in simulated time, the world
+/// runs once, and sojourns are measured on the simulated clock —
+/// bit-reproducible given the seed.
+///
+/// # Panics
+///
+/// Panics if an offered operation does not complete by quiescence.
+pub fn run_open_loop_sim(spec: &OpenLoopSpec, configs: Vec<Configuration>) -> OpenLoopReport {
+    let store =
+        SimStore::builder(configs).objects(0..spec.objects.max(1) as u32).seed(spec.seed).build();
+    let mut sessions: Vec<_> = (0..spec.sessions.max(1)).map(|_| store.open_session()).collect();
+    let arrivals = spec.arrivals();
+    let mut tickets = Vec::with_capacity(spec.total_ops);
+    for (i, &at) in arrivals.iter().enumerate() {
+        let k = i % sessions.len();
+        tickets.push((at, sessions[k].submit_at(at, spec.cmd(i))));
+    }
+    store.run_to_quiescence();
+    let mut read_sojourn = LatencyHistogram::new();
+    let mut write_sojourn = LatencyHistogram::new();
+    let mut completions = Vec::with_capacity(spec.total_ops);
+    for (arrival, mut t) in tickets {
+        let c = t
+            .try_wait()
+            .expect("offered operation must complete by quiescence")
+            .expect("sim ops cannot fail under a live quorum");
+        record(&mut read_sojourn, &mut write_sojourn, arrival, &c);
+        completions.push(c);
+    }
+    let elapsed = store.now() as f64 / 1e6;
+    OpenLoopReport::from_parts(
+        spec.target_ops_per_sec,
+        elapsed,
+        read_sojourn,
+        write_sojourn,
+        completions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ares_types::{ConfigId, ProcessId};
+
+    fn treas53() -> Vec<Configuration> {
+        vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)]
+    }
+
+    #[test]
+    fn arrival_schedule_is_deterministic_and_jittered() {
+        let spec =
+            OpenLoopSpec { total_ops: 200, target_ops_per_sec: 1000.0, ..Default::default() };
+        let a = spec.arrivals();
+        let b = spec.arrivals();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // Mean gap ≈ 1000 µs; jitter means gaps are not constant.
+        let gaps: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!((600.0..1400.0).contains(&mean), "mean gap {mean} µs");
+        assert!(gaps.iter().any(|&g| g != gaps[0]), "gaps are jittered");
+        // A different seed produces a different schedule.
+        let other = OpenLoopSpec { seed: 9, ..spec }.arrivals();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn sim_open_loop_is_deterministic_and_atomic() {
+        let spec = OpenLoopSpec {
+            sessions: 8,
+            total_ops: 60,
+            target_ops_per_sec: 2000.0,
+            value_size: 128,
+            ..Default::default()
+        };
+        let a = run_open_loop_sim(&spec, treas53());
+        let b = run_open_loop_sim(&spec, treas53());
+        assert_eq!(a.ops, spec.total_ops as u64, "every offered op completes");
+        assert_eq!(a.elapsed_secs, b.elapsed_secs, "bit-deterministic");
+        assert_eq!(a.read_sojourn.percentiles(), b.read_sojourn.percentiles());
+        a.assert_atomic();
+        assert!(a.reads > 0 && a.writes > 0);
+    }
+}

@@ -45,3 +45,34 @@ fn cluster_loadgen_history_is_atomic() {
     // Latencies were recorded for every completed operation.
     assert_eq!(r.read_hist.count() + r.write_hist.count(), r.ops);
 }
+
+#[test]
+fn session_multiplexed_cluster_history_is_atomic() {
+    // The same logical workload as the thread-per-client baseline, but
+    // multiplexed as sessions over ONE client runtime.
+    let spec = small_spec();
+    let r = ares_loadgen::run_cluster_sessions(&spec, treas53()).expect("cluster bring-up");
+    assert_eq!(r.ops, spec.total_ops() as u64, "all scheduled ops complete");
+    check_atomicity(&r.completions).assert_atomic();
+    assert_eq!(r.read_hist.count() + r.write_hist.count(), r.ops);
+    // All ops ran on one client host process.
+    let clients: std::collections::HashSet<_> = r.completions.iter().map(|c| c.op.client).collect();
+    assert_eq!(clients.len(), 1, "one runtime hosts every session");
+}
+
+#[test]
+fn open_loop_cluster_completes_offered_load_atomically() {
+    let spec = ares_loadgen::OpenLoopSpec {
+        sessions: 6,
+        objects: 3,
+        value_size: 256,
+        read_percent: 40,
+        target_ops_per_sec: 400.0,
+        total_ops: 80,
+        seed: 17,
+    };
+    let r = ares_loadgen::run_open_loop_cluster(&spec, treas53()).expect("cluster bring-up");
+    assert_eq!(r.ops, spec.total_ops as u64, "every offered op completes");
+    r.assert_atomic();
+    assert!(r.achieved_ops_per_sec > 0.0);
+}

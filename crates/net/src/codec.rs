@@ -32,9 +32,11 @@
 
 use ares_codes::Fragment;
 use ares_consensus::{Ballot, ConMsg};
-use ares_core::{CfgMsg, ClientCmd, Msg, RepairMsg, XferMsg};
+use ares_core::{CfgMsg, ClientCmd, Invoke, Msg, RepairMsg, XferMsg};
 use ares_dap::{DapBody, DapMsg, Hdr, ListEntry};
-use ares_types::{ConfigEntry, ConfigId, ObjectId, OpId, ProcessId, RpcId, Status, Tag, Value};
+use ares_types::{
+    ConfigEntry, ConfigId, ObjectId, OpId, ProcessId, RpcId, SessionId, Status, Tag, Value,
+};
 use bytes::Bytes;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -926,6 +928,12 @@ impl WireEncode for Msg {
                 out.push(5);
                 m.encode(out);
             }
+            Msg::Invoke(inv) => {
+                out.push(6);
+                out.extend_from_slice(&inv.session.0.to_be_bytes());
+                out.extend_from_slice(&inv.seq.to_be_bytes());
+                inv.cmd.encode(out);
+            }
         }
     }
 }
@@ -939,6 +947,11 @@ impl WireDecode for Msg {
             3 => Msg::Xfer(XferMsg::decode(r)?),
             4 => Msg::Repair(RepairMsg::decode(r)?),
             5 => Msg::Cmd(ClientCmd::decode(r)?),
+            6 => Msg::Invoke(Invoke {
+                session: SessionId(r.u32()?),
+                seq: r.u64()?,
+                cmd: ClientCmd::decode(r)?,
+            }),
             tag => return Err(DecodeError::BadTag { what: "Msg", tag }),
         })
     }
@@ -1031,7 +1044,8 @@ fn payload_size_hint(msg: &Msg) -> usize {
         Msg::Repair(RepairMsg::Lists { list, .. }) => {
             list.iter().map(|e| e.frag.as_ref().map_or(0, |f| f.data.len()) + 32).sum()
         }
-        Msg::Cmd(ClientCmd::Write { value, .. }) => value.len(),
+        Msg::Cmd(ClientCmd::Write { value, .. })
+        | Msg::Invoke(Invoke { cmd: ClientCmd::Write { value, .. }, .. }) => value.len(),
         _ => 0,
     }
 }
@@ -1152,7 +1166,7 @@ pub fn referenced_object(msg: &Msg) -> Option<ObjectId> {
             | RepairMsg::Query { obj, .. }
             | RepairMsg::Lists { obj, .. } => Some(*obj),
         },
-        Msg::Cmd(m) => match m {
+        Msg::Cmd(m) | Msg::Invoke(Invoke { cmd: m, .. }) => match m {
             ClientCmd::Write { obj, .. } | ClientCmd::Read { obj } => Some(*obj),
             ClientCmd::Recon { .. } => None,
         },
@@ -1207,7 +1221,7 @@ pub fn referenced_configs(msg: &Msg) -> Vec<ConfigId> {
             | RepairMsg::Query { cfg, .. }
             | RepairMsg::Lists { cfg, .. } => vec![*cfg],
         },
-        Msg::Cmd(m) => match m {
+        Msg::Cmd(m) | Msg::Invoke(Invoke { cmd: m, .. }) => match m {
             ClientCmd::Recon { target } => vec![*target],
             _ => Vec::new(),
         },
@@ -1324,6 +1338,11 @@ mod tests {
             }),
             Msg::Cmd(ClientCmd::Write { obj: ObjectId(1), value: Value::filler(16, 3) }),
             Msg::Cmd(ClientCmd::Recon { target: ConfigId(4) }),
+            Msg::Invoke(Invoke {
+                session: SessionId(3),
+                seq: (3u64 << 32) | 17,
+                cmd: ClientCmd::Write { obj: ObjectId(2), value: Value::filler(24, 5) },
+            }),
         ];
         for m in msgs {
             let before = format!("{m:?}");

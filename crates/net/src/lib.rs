@@ -50,4 +50,6 @@ mod runtime;
 pub mod testing;
 
 pub use codec::{DecodeError, WireDecode, WireEncode, MAX_FRAME_LEN, WIRE_VERSION};
-pub use runtime::{AddrBook, NodeRuntime, RemoteClient, DEFAULT_OP_TIMEOUT, ENV};
+pub use runtime::{
+    AddrBook, NetSession, NetStore, NetTicket, NodeRuntime, RemoteClient, DEFAULT_OP_TIMEOUT, ENV,
+};

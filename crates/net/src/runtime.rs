@@ -29,17 +29,22 @@
 //! [`NodeRuntime::replace`].
 
 use crate::codec::{self, read_frame};
-use ares_core::{ClientActor, ClientCmd, ClientConfig, Msg, ServerActor};
+use ares_core::store::{session_op_seq, Store, StoreSession};
+use ares_core::{
+    ClientActor, ClientCmd, ClientConfig, Invoke, Msg, OpError, OpTicket, ServerActor,
+};
 use ares_sim::{Actor, Ctx, HostEffect};
-use ares_types::{ConfigId, ConfigRegistry, ObjectId, OpCompletion, ProcessId, Time, Value};
+use ares_types::{
+    ConfigId, ConfigRegistry, ObjectId, OpCompletion, OpId, ProcessId, SessionId, Time, Value,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -303,6 +308,22 @@ impl Drop for PeerPool {
     }
 }
 
+/// Whether the peer has closed this connection (a FIN is pending): a
+/// nonblocking one-byte peek returns `Ok(0)` exactly then. Without this
+/// check, a frame written into a connection the peer tore down during a
+/// crash window is buffered locally, "succeeds", and is silently lost —
+/// violating the reliable-channel model for messages sent *after* the
+/// peer recovered. (Peers never send data on inbound connections, so
+/// `Ok(n > 0)` does not occur; replies travel over the peer's own
+/// outbound pool.)
+fn peer_closed(s: &TcpStream) -> bool {
+    if s.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let dead = matches!(s.peek(&mut [0u8; 1]), Ok(0));
+    dead | s.set_nonblocking(false).is_err()
+}
+
 /// One outbound connection: pops frames, (re)connects on demand, writes.
 ///
 /// A frame that cannot be written after one reconnect attempt is
@@ -323,13 +344,28 @@ fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>) {
         }
         None
     };
+    // Peer-close detection is amortized off the hot path: a FIN racing
+    // an active burst surfaces as a write error anyway (handled below);
+    // the silent-loss window needs the connection to have been *idle*
+    // across a crash window, so only the first write after an idle gap
+    // pays the peek syscalls.
+    const IDLE_BEFORE_PEEK: Duration = Duration::from_millis(2);
+    let mut last_write: Option<Instant> = None;
     while let Some(frame) = queue.pop() {
         for _attempt in 0..2 {
+            let idle = last_write.is_none_or(|t| t.elapsed() >= IDLE_BEFORE_PEEK);
+            if idle && stream.as_ref().is_some_and(|s| peer_closed(s.get_ref())) {
+                // The peer hung up (e.g. a crash window severed us):
+                // writing would buffer into a dead socket and lose the
+                // frame without an error. Reconnect first.
+                stream = None;
+            }
             if stream.is_none() {
                 stream = connect(addr);
             }
             let Some(s) = stream.as_mut() else { break };
             if s.write_all(&frame).and_then(|()| s.flush()).is_ok() {
+                last_write = Some(Instant::now());
                 break;
             }
             stream = None; // write failed: reconnect once, then give up
@@ -340,6 +376,11 @@ fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>) {
 // ---------------------------------------------------------------------
 // The generic actor host
 // ---------------------------------------------------------------------
+
+/// How a host surfaces completed client operations to its frontend.
+/// Called on the event-loop thread; implementations must be quick and
+/// non-blocking (the store frontend routes by `OpId` into ticket cells).
+type CompletionSink = Box<dyn Fn(OpCompletion) + Send + 'static>;
 
 enum Event<A> {
     Deliver {
@@ -413,7 +454,7 @@ impl<A: Actor<Msg> + Send + 'static> Host<A> {
         book: Arc<AddrBook>,
         listener: TcpListener,
         epoch: Instant,
-        completions: Option<Sender<OpCompletion>>,
+        completions: Option<CompletionSink>,
     ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
         let listener_clone = listener.try_clone()?;
@@ -564,12 +605,11 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
                 if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
                     return; // crash window: drop frame, sever connection
                 }
-                // Command frames are environment-injected, never
+                // Command/invoke frames are environment-injected, never
                 // protocol traffic: a peer must not be able to drive a
-                // host's client operations (or pollute a blocked
-                // RemoteClient's completion channel) over the network.
-                // The trusted local path is `inject()`.
-                if matches!(msg, Msg::Cmd(_)) {
+                // host's client sessions over the network. The trusted
+                // local path is `inject()`.
+                if matches!(msg, Msg::Cmd(_) | Msg::Invoke(_)) {
                     continue;
                 }
                 // Network-facing dispatch guard: a stale or hostile
@@ -613,7 +653,7 @@ fn event_loop<A: Actor<Msg> + Send + 'static>(
     pool: Arc<PeerPool>,
     timers: Arc<Timers>,
     epoch: Instant,
-    completions: Option<Sender<OpCompletion>>,
+    completions: Option<CompletionSink>,
     inbound: Arc<std::sync::atomic::AtomicUsize>,
 ) {
     let mut rng = StdRng::seed_from_u64(pid.0 as u64 ^ 0xA1E5_0000);
@@ -657,7 +697,7 @@ fn apply<A>(
     loopback: &Sender<Event<A>>,
     pool: &PeerPool,
     timers: &Timers,
-    completions: &Option<Sender<OpCompletion>>,
+    completions: &Option<CompletionSink>,
 ) {
     // Encode-once/send-many: a quorum broadcast arrives here as a run of
     // `Send` effects whose messages are clones sharing one payload
@@ -697,8 +737,8 @@ fn apply<A>(
                 timers.arm(Instant::now() + Duration::from_micros(delay), token);
             }
             HostEffect::Complete(c) => {
-                if let Some(tx) = completions {
-                    let _ = tx.send(c);
+                if let Some(sink) = completions {
+                    sink(c);
                 }
             }
             HostEffect::Note(_) => {}
@@ -796,12 +836,362 @@ impl NodeRuntime {
     }
 }
 
-/// A live ARES client: a [`ClientActor`] behind a TCP listener, driven
-/// through blocking `read` / `write` / `reconfig` calls that return the
-/// same [`OpCompletion`] records the simulator harness produces.
+// ---------------------------------------------------------------------
+// The session-multiplexed client store
+// ---------------------------------------------------------------------
+
+/// Routing state shared between the event-loop completion sink and the
+/// store frontend.
+struct RouteShared {
+    /// In-flight operations → the ticket cell awaiting each completion.
+    router: Mutex<HashMap<OpId, Arc<TicketCell>>>,
+    /// Completions routed so far (progress counter) + its condvar, so a
+    /// driver with many outstanding tickets sleeps on one signal instead
+    /// of polling every ticket.
+    progress: Mutex<u64>,
+    progress_cv: Condvar,
+}
+
+impl RouteShared {
+    fn new() -> Arc<Self> {
+        Arc::new(RouteShared {
+            router: Mutex::new(HashMap::new()),
+            progress: Mutex::new(0),
+            progress_cv: Condvar::new(),
+        })
+    }
+
+    /// The event-loop side: route `c` to its ticket (if still claimed)
+    /// and bump the progress counter.
+    fn route(&self, c: OpCompletion) {
+        let cell = self.router.lock().expect("router lock").remove(&c.op);
+        if let Some(cell) = cell {
+            *cell.slot.lock().expect("ticket slot") = Some(c);
+            cell.cv.notify_all();
+        }
+        // A timed-out (withdrawn) ticket's completion still counts as
+        // progress: the session it unblocks may now start its next op.
+        let mut n = self.progress.lock().expect("progress lock");
+        *n += 1;
+        self.progress_cv.notify_all();
+    }
+}
+
+struct TicketCell {
+    slot: Mutex<Option<OpCompletion>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketCell { slot: Mutex::new(None), cv: Condvar::new() })
+    }
+}
+
+struct StoreInner {
+    pid: ProcessId,
+    epoch: Instant,
+    /// `None` once shut down; submissions then fail with
+    /// [`OpError::Closed`].
+    host: Mutex<Option<Host<ClientActor>>>,
+    shared: Arc<RouteShared>,
+    next_session: AtomicU32,
+    op_timeout: Mutex<Duration>,
+}
+
+/// A session-multiplexed ARES client store over TCP: one
+/// [`ClientActor`], one reply listener and one outbound socket set,
+/// shared by every logical [`NetSession`] opened on it.
+///
+/// This replaces the one-client-per-socket-set scaling model: a process
+/// serving N concurrent logical clients opens N sessions on one
+/// `NetStore` instead of N [`RemoteClient`]s, and drives them with
+/// ticketed, pipelined operations — completions are routed back to
+/// their tickets by [`OpId`], never by arrival order.
+pub struct NetStore {
+    inner: Arc<StoreInner>,
+}
+
+impl NetStore {
+    /// Connects a store to a deployment, binding its reply listener to
+    /// its address in `book`. Completion timestamps use the
+    /// process-wide epoch (see [`NodeRuntime::start`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the listener bring-up.
+    pub fn start(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        config: ClientConfig,
+        book: Arc<AddrBook>,
+    ) -> io::Result<Self> {
+        let addr = book
+            .addr(me)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{me} not in book")))?;
+        Self::serve(me, registry, config, book, TcpListener::bind(addr)?, process_epoch())
+    }
+
+    /// Starts a store on an already-bound reply listener with a shared
+    /// timestamp `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from host bring-up.
+    pub fn serve(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        config: ClientConfig,
+        book: Arc<AddrBook>,
+        listener: TcpListener,
+        epoch: Instant,
+    ) -> io::Result<Self> {
+        assert!(
+            me.0 < ares_core::store::MAX_SESSIONS,
+            "client host id {me} is reserved for session writer ids (hosts must stay below 2^16)"
+        );
+        let actor = ClientActor::new(registry.clone(), config);
+        let admission = Admission { registry, objects: None };
+        let shared = RouteShared::new();
+        let sink: CompletionSink = {
+            let shared = shared.clone();
+            Box::new(move |c| shared.route(c))
+        };
+        let host = Host::start(me, actor, admission, book, listener, epoch, Some(sink))?;
+        Ok(NetStore {
+            inner: Arc::new(StoreInner {
+                pid: me,
+                epoch,
+                host: Mutex::new(Some(host)),
+                shared,
+                next_session: AtomicU32::new(0),
+                op_timeout: Mutex::new(DEFAULT_OP_TIMEOUT),
+            }),
+        })
+    }
+
+    /// This store's host process id.
+    pub fn pid(&self) -> ProcessId {
+        self.inner.pid
+    }
+
+    /// Sets the default deadline [`OpTicket::wait`] applies.
+    pub fn set_op_timeout(&self, timeout: Duration) {
+        *self.inner.op_timeout.lock().expect("timeout lock") = timeout;
+    }
+
+    /// Microseconds since this deployment's timestamp epoch — the clock
+    /// [`OpCompletion`] records are stamped with, so frontends can put
+    /// their own marks (e.g. open-loop arrival times) on the same axis.
+    pub fn now_micros(&self) -> Time {
+        self.inner.epoch.elapsed().as_micros() as Time
+    }
+
+    /// Number of completions routed so far (progress counter).
+    pub fn completions_routed(&self) -> u64 {
+        *self.inner.shared.progress.lock().expect("progress lock")
+    }
+
+    /// Blocks until the progress counter exceeds `seen` (returning the
+    /// new value) or `timeout` passes (returning the current value).
+    /// Closed-loop drivers sweep their tickets with
+    /// [`OpTicket::try_wait`] after each wakeup.
+    pub fn wait_progress(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut n = self.inner.shared.progress.lock().expect("progress lock");
+        while *n <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .inner
+                .shared
+                .progress_cv
+                .wait_timeout(n, deadline - now)
+                .expect("progress lock");
+            n = guard;
+        }
+        *n
+    }
+
+    /// Stops all threads and closes the reply listener. Outstanding
+    /// tickets time out; subsequent submissions fail with
+    /// [`OpError::Closed`].
+    pub fn shutdown(&self) {
+        let host = self.inner.host.lock().expect("host lock").take();
+        if let Some(h) = host {
+            h.shutdown();
+        }
+    }
+}
+
+impl Store for NetStore {
+    type Session = NetSession;
+
+    fn open_session(&self) -> NetSession {
+        let id = SessionId(self.inner.next_session.fetch_add(1, Ordering::SeqCst));
+        assert!(id.0 < ares_core::store::MAX_SESSIONS, "session id space exhausted");
+        NetSession { inner: self.inner.clone(), id, next: 0 }
+    }
+}
+
+/// A logical client session of a [`NetStore`]. Cheap to open (a counter
+/// bump), safe to move to another thread; the runtime executes its
+/// commands strictly in submission order.
+pub struct NetSession {
+    inner: Arc<StoreInner>,
+    id: SessionId,
+    next: u64,
+}
+
+impl StoreSession for NetSession {
+    type Ticket = NetTicket;
+
+    fn id(&self) -> SessionId {
+        self.id
+    }
+
+    fn client(&self) -> ProcessId {
+        self.inner.pid
+    }
+
+    fn submit(&mut self, cmd: ClientCmd) -> Result<NetTicket, OpError> {
+        if let ClientCmd::Write { value, .. } = &cmd {
+            // Reject on the submitting thread: an impossible-to-transmit
+            // value must be an immediate, attributable error, not a dead
+            // event loop and a timeout.
+            let max = codec::MAX_FRAME_LEN - 1024;
+            if value.len() > max {
+                return Err(OpError::ValueTooLarge { len: value.len(), max });
+            }
+        }
+        let seq = session_op_seq(self.id, self.next);
+        self.next += 1;
+        let op = OpId { client: self.inner.pid, seq };
+        let cell = TicketCell::new();
+        // Claim the route *before* injecting: the completion can never
+        // arrive unrouted.
+        self.inner.shared.router.lock().expect("router lock").insert(op, cell.clone());
+        {
+            let host = self.inner.host.lock().expect("host lock");
+            let Some(h) = host.as_ref() else {
+                self.inner.shared.router.lock().expect("router lock").remove(&op);
+                return Err(OpError::Closed);
+            };
+            h.inject(ENV, Msg::Invoke(Invoke { session: self.id, seq, cmd }));
+        }
+        Ok(NetTicket { op, cell, inner: self.inner.clone() })
+    }
+}
+
+/// Claim ticket for one operation submitted to a [`NetStore`].
+pub struct NetTicket {
+    op: OpId,
+    cell: Arc<TicketCell>,
+    inner: Arc<StoreInner>,
+}
+
+impl std::fmt::Debug for NetTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetTicket").field("op", &self.op).finish_non_exhaustive()
+    }
+}
+
+impl NetTicket {
+    /// Waits until `deadline`-ish (`timeout` from now) for the routed
+    /// completion.
+    ///
+    /// On timeout the ticket withdraws its route, so the completion —
+    /// should the operation still finish later — is dropped instead of
+    /// leaking; the error poisons *only this ticket*. The operation's
+    /// session stays dedicated to the stuck operation until the runtime
+    /// completes it (per-session commands are strictly serial); callers
+    /// needing fresh progress open a new session.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Timeout`] if no completion is routed in time.
+    pub fn wait_for(self, timeout: Duration) -> Result<OpCompletion, OpError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.cell.slot.lock().expect("ticket slot");
+        loop {
+            if let Some(c) = slot.take() {
+                return Ok(c);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                // Withdraw the route; if the sink already claimed it the
+                // fill is imminent — take it after all.
+                let withdrawn = self
+                    .inner
+                    .shared
+                    .router
+                    .lock()
+                    .expect("router lock")
+                    .remove(&self.op)
+                    .is_some();
+                if withdrawn {
+                    return Err(OpError::Timeout { op: self.op });
+                }
+                slot = self.cell.slot.lock().expect("ticket slot");
+                loop {
+                    // Predicate first: Condvar can report timed_out even
+                    // when the sink filled the slot during the wait, and
+                    // an imminent fill must not be dropped.
+                    if let Some(c) = slot.take() {
+                        return Ok(c);
+                    }
+                    let (guard, t) = self
+                        .cell
+                        .cv
+                        .wait_timeout(slot, Duration::from_secs(1))
+                        .expect("ticket slot");
+                    slot = guard;
+                    if t.timed_out() {
+                        if let Some(c) = slot.take() {
+                            return Ok(c);
+                        }
+                        return Err(OpError::Timeout { op: self.op });
+                    }
+                }
+            }
+            let (guard, _) = self.cell.cv.wait_timeout(slot, deadline - now).expect("ticket slot");
+            slot = guard;
+        }
+    }
+}
+
+impl OpTicket for NetTicket {
+    fn op(&self) -> OpId {
+        self.op
+    }
+
+    /// Non-blocking poll. Returns the completion at most once.
+    fn try_wait(&mut self) -> Option<Result<OpCompletion, OpError>> {
+        self.cell.slot.lock().expect("ticket slot").take().map(Ok)
+    }
+
+    fn wait(self) -> Result<OpCompletion, OpError> {
+        let timeout = *self.inner.op_timeout.lock().expect("timeout lock");
+        self.wait_for(timeout)
+    }
+}
+
+/// A live ARES client: blocking `read` / `write` / `reconfig` calls that
+/// return the same [`OpCompletion`] records the simulator harness
+/// produces.
+///
+/// Since the session-multiplexed store landed this is a thin
+/// compatibility wrapper over a [`NetStore`] with one default session —
+/// kept because one-blocking-client-per-thread is still the simplest way
+/// to drive a test cluster. New code (and anything driving more than a
+/// handful of concurrent operations) should use [`NetStore`] sessions
+/// directly; this wrapper may eventually be retired.
 pub struct RemoteClient {
-    host: Host<ClientActor>,
-    completions: Mutex<Receiver<OpCompletion>>,
+    store: NetStore,
+    session: Mutex<NetSession>,
     op_timeout: Duration,
 }
 
@@ -831,74 +1221,50 @@ impl RemoteClient {
         listener: TcpListener,
         epoch: Instant,
     ) -> io::Result<Self> {
-        let actor = ClientActor::new(registry.clone(), config);
-        let (ctx_tx, ctx_rx) = mpsc::channel();
-        let admission = Admission { registry, objects: None };
-        let host = Host::start(me, actor, admission, book, listener, epoch, Some(ctx_tx))?;
-        Ok(RemoteClient { host, completions: Mutex::new(ctx_rx), op_timeout: DEFAULT_OP_TIMEOUT })
+        let store = NetStore::serve(me, registry, config, book, listener, epoch)?;
+        let session = Mutex::new(store.open_session());
+        Ok(RemoteClient { store, session, op_timeout: DEFAULT_OP_TIMEOUT })
     }
 
     /// This client's process id.
     pub fn pid(&self) -> ProcessId {
-        self.host.pid
+        self.store.pid()
+    }
+
+    /// The session-multiplexed store under this client: open further
+    /// sessions on it to pipeline operations over the same socket set.
+    pub fn store(&self) -> &NetStore {
+        &self.store
+    }
+
+    /// Opens an additional logical session on the underlying store.
+    pub fn open_session(&self) -> NetSession {
+        self.store.open_session()
     }
 
     /// Overrides the blocking-operation timeout.
     #[must_use]
     pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
         self.op_timeout = timeout;
+        self.store.set_op_timeout(timeout);
         self
     }
 
-    /// Enqueues a command without waiting for its completion (the actor
-    /// executes queued commands one at a time).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a written value cannot fit a wire frame
-    /// ([`crate::codec::MAX_FRAME_LEN`]). Checking here, on the calling
-    /// thread, turns an impossible-to-transmit value into an immediate,
-    /// attributable error instead of a dead event loop and a 60-second
-    /// timeout.
-    pub fn invoke(&self, cmd: ClientCmd) {
-        Self::check_cmd(&cmd);
-        self.host.inject(ENV, Msg::Cmd(cmd));
-    }
-
-    fn check_cmd(cmd: &ClientCmd) {
-        if let ClientCmd::Write { value, .. } = cmd {
-            assert!(
-                value.len() + 1024 <= codec::MAX_FRAME_LEN,
-                "value of {} bytes cannot fit a wire frame (limit {})",
-                value.len(),
-                codec::MAX_FRAME_LEN
-            );
-        }
-    }
-
-    /// Receives the next completion record, if one arrives in time.
-    ///
-    /// Pair this with [`RemoteClient::invoke`]; mixing it with the
-    /// blocking `read`/`write`/`reconfig` calls from other threads
-    /// would race them for records (the blocking calls pair commands
-    /// with completions by holding the receiver for the full call).
-    pub fn next_completion(&self, timeout: Duration) -> Result<OpCompletion, RecvTimeoutError> {
-        self.completions.lock().expect("completion lock").recv_timeout(timeout)
-    }
-
     fn run(&self, cmd: ClientCmd, what: &str) -> OpCompletion {
-        // Validate before taking the lock: an oversized-value panic
-        // while holding the receiver would poison it and bury the real
-        // cause under "completion lock" panics on other threads.
-        Self::check_cmd(&cmd);
-        // Hold the receiver across invoke + recv: concurrent blocking
-        // calls on one client serialize here, so each call is paired
-        // with its *own* completion (the actor executes queued commands
-        // FIFO and completions arrive in the same order) instead of
-        // racing for whichever record lands first.
-        let rx = self.completions.lock().expect("completion lock");
-        self.invoke(cmd);
-        match rx.recv_timeout(self.op_timeout) {
+        // Submission claims the route keyed by this operation's OpId, so
+        // concurrent blocking calls need no serialization: each call's
+        // completion is routed to its own ticket (the seed's
+        // hold-the-receiver-across-invoke workaround is gone), and a
+        // timeout panics only the calling thread — the client and its
+        // other sessions keep working.
+        let ticket = {
+            let mut session = self.session.lock().expect("session lock");
+            match session.submit(cmd) {
+                Ok(t) => t,
+                Err(e) => panic!("{} on client {} rejected: {e}", what, self.pid()),
+            }
+        };
+        match ticket.wait_for(self.op_timeout) {
             Ok(c) => c,
             Err(e) => panic!("{} on client {} did not complete: {e:?}", what, self.pid()),
         }
@@ -908,7 +1274,8 @@ impl RemoteClient {
     ///
     /// # Panics
     ///
-    /// Panics if the operation does not complete within the timeout.
+    /// Panics if the operation does not complete within the timeout, or
+    /// if the value cannot fit a wire frame.
     pub fn write(&self, obj: ObjectId, value: Value) -> OpCompletion {
         self.run(ClientCmd::Write { obj, value }, "write")
     }
@@ -933,7 +1300,7 @@ impl RemoteClient {
 
     /// Stops all threads and closes the reply listener.
     pub fn shutdown(self) {
-        self.host.shutdown();
+        self.store.shutdown();
     }
 }
 

@@ -172,6 +172,16 @@ impl LocalCluster {
         self.clients.get(&ProcessId(pid)).expect("declared client")
     }
 
+    /// The session-multiplexed store of client `pid`: open sessions on
+    /// it to drive many concurrent logical clients over one socket set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not declared as a client.
+    pub fn store(&self, pid: u32) -> &crate::NetStore {
+        self.client(pid).store()
+    }
+
     /// Server process ids, ascending.
     pub fn server_pids(&self) -> Vec<ProcessId> {
         let mut v: Vec<ProcessId> = self.nodes.keys().copied().collect();

@@ -327,6 +327,17 @@ impl<M: SimMessage> World<M> {
         }
     }
 
+    /// Processes exactly one event. Returns `None` while the run can
+    /// continue, `Some(outcome)` once it cannot (quiescent or a limit).
+    ///
+    /// This is the incremental driver external *store* frontends use: a
+    /// ticketed operation's `wait` pumps events one at a time until its
+    /// completion appears, instead of running the world to quiescence
+    /// past it.
+    pub fn step_one(&mut self) -> Option<RunOutcome> {
+        self.step()
+    }
+
     /// Runs until `deadline` (inclusive) or quiescence.
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
         let saved = self.time_limit;

@@ -70,6 +70,37 @@ impl fmt::Display for OpId {
     }
 }
 
+/// Identifier of a logical client *session* within one client process.
+///
+/// The paper models every reader/writer/reconfigurer as a sequential
+/// process with at most one outstanding operation. A session is exactly
+/// that logical process — but many sessions can be multiplexed over one
+/// OS process and one runtime. Well-formedness (one outstanding
+/// operation) is enforced *per session*; operations of different
+/// sessions of the same process run concurrently.
+///
+/// Session ids are process-local. Globally unique identities are derived
+/// from `(ProcessId, SessionId)` pairs: operation ids partition the
+/// `OpId::seq` space by session, and each session writes under its own
+/// logical writer id (see `ares_core::store`), so tags minted by
+/// concurrent sessions never collide.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SessionId(pub u32);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SessionId {
+    fn from(v: u32) -> Self {
+        SessionId(v)
+    }
+}
+
 /// Identifier of one client-side RPC *phase* (a broadcast plus the quorum
 /// of replies it waits for). Replies carry the phase id back so a client
 /// can discard stragglers from completed phases.

@@ -21,7 +21,7 @@ pub mod value;
 
 pub use completion::{OpCompletion, OpKind};
 pub use config::{ConfigEntry, ConfigRegistry, ConfigSeq, Configuration, DapKind, Status};
-pub use ids::{ConfigId, ObjectId, OpId, ProcessId, RpcId};
+pub use ids::{ConfigId, ObjectId, OpId, ProcessId, RpcId, SessionId};
 pub use quorum::QuorumSpec;
 pub use step::Step;
 pub use tag::Tag;

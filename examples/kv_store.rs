@@ -1,4 +1,5 @@
-//! A tiny key-value store composed from ARES registers.
+//! A tiny key-value store composed from ARES registers, driven through
+//! the session-multiplexed `Store` API.
 //!
 //! Atomic objects are composable (Section 1 of the paper cites this as
 //! the reason strong consistency makes application development simple):
@@ -8,6 +9,13 @@
 //! store from replication to erasure coding mid-run, and audits the
 //! final state.
 //!
+//! Concurrency comes from *sessions*, not threads or extra client
+//! processes: one store runtime hosts a seeding writer, a concurrent
+//! updater, an auditor and a reconfigurer as four logical sessions, and
+//! phase 2 pipelines all of them from a single driver thread — each
+//! session's commands stay strictly serial (well-formed), while the
+//! sessions run against each other.
+//!
 //! Two deployment modes share the same workload and the same actors:
 //!
 //! ```text
@@ -15,7 +23,8 @@
 //! cargo run --example kv_store -- --net # live loopback TCP cluster
 //! ```
 
-use ares_harness::{check_atomicity, Scenario};
+use ares_core::store::{OpTicket, Store, StoreSession};
+use ares_harness::{check_atomicity, SimStore};
 use ares_net::testing::LocalCluster;
 use ares_types::{ConfigId, Configuration, ObjectId, OpCompletion, OpKind, ProcessId, Value};
 use std::collections::HashMap;
@@ -30,7 +39,7 @@ fn universe() -> Vec<Configuration> {
 }
 
 /// Digest of the value each key must hold at the end: phase-1 seeds,
-/// overwritten by the phase-2 writes of client 101.
+/// overwritten by the phase-2 writes of the updater session.
 fn expectations() -> HashMap<u32, u64> {
     let mut expected: HashMap<u32, u64> = HashMap::new();
     for key in 0..KEYS {
@@ -70,89 +79,69 @@ fn audit(completions: &[OpCompletion], expected: &HashMap<u32, u64>, mode: &str)
     println!("\n{} operations, history atomic per key ✓ (migration included)", completions.len());
 }
 
-/// The original deterministic-simulator deployment.
-fn run_sim() {
-    let mut s = Scenario::new(universe()).clients([100, 101, 110, 200]).seed(31);
+/// Drives the three-phase workload over any store backend. Phase 2 is
+/// the point: an updater, an auditor and a reconfigurer — three logical
+/// sessions on ONE runtime — submit their whole command streams up
+/// front and run concurrently, every completion routed back to its
+/// ticket by operation id.
+fn run_store<S: Store>(store: &S) -> Vec<OpCompletion> {
+    let mut history: Vec<OpCompletion> = Vec::new();
+    let mut seeder = store.open_session();
+    let mut updater = store.open_session();
+    let mut auditor = store.open_session();
+    let mut reconfigurer = store.open_session();
 
-    // Phase 1: populate all keys ("accounts") with initial balances.
+    // Phase 1: populate all keys ("accounts") with initial balances,
+    // strictly serial on the seeding session.
     for key in 0..KEYS {
-        s = s.write_at(key as u64 * 50, 100, key, Value::filler(32, 1_000 + key as u64));
+        let t = seeder.write(ObjectId(key), Value::filler(32, 1_000 + key as u64)).expect("submit");
+        history.push(t.wait().expect("seed write"));
     }
-    // Phase 2: concurrent updates from a second writer + audits from a
-    // reader, while the store migrates to erasure coding.
-    s = s.recon_at(3_000, 200, 1);
+
+    // Phase 2: pipelined — the store migrates from ABD replication to a
+    // TREAS [6,4] code while the updater overwrites half the keys and
+    // the auditor reads the other half. All submissions return tickets
+    // immediately; the three sessions execute concurrently.
+    let mut tickets = Vec::new();
+    tickets.push(reconfigurer.reconfig(ConfigId(1)).expect("submit"));
     for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
-        let t = 2_500 + i as u64 * 220;
-        if i % 2 == 0 {
-            s = s.write_at(t, 101, key, Value::filler(32, 2_000 + i as u64));
+        let t = if i % 2 == 0 {
+            updater.write(ObjectId(key), Value::filler(32, 2_000 + i as u64)).expect("submit")
         } else {
-            s = s.read_at(t, 110, key);
-        }
+            auditor.read(ObjectId(key)).expect("submit")
+        };
+        tickets.push(t);
     }
-    // Phase 3: final audit of every key.
-    for key in 0..KEYS {
-        s = s.read_at(20_000 + key as u64 * 100, 110, key);
+    for t in tickets {
+        history.push(t.wait().expect("phase-2 op"));
     }
 
-    let res = s.run();
-    audit(&res.completions, &expectations(), "simulator");
+    // Phase 3: final audit of every key (strictly after phase 2).
+    for key in 0..KEYS {
+        let t = auditor.read(ObjectId(key)).expect("submit");
+        history.push(t.wait().expect("audit read"));
+    }
+    history
+}
+
+/// The deterministic-simulator deployment: one multiplexing client
+/// actor inside the simulated network.
+fn run_sim() {
+    let store = SimStore::builder(universe()).objects(0..KEYS).seed(31).build();
+    let history = run_store(&store);
+    audit(&history, &expectations(), "simulator");
 }
 
 /// The same workload over a live loopback TCP cluster: the identical
-/// `ServerActor`/`ClientActor` state machines, hosted by `ares-net`
-/// instead of the simulator.
+/// actors hosted by `ares-net`, all four sessions sharing one client
+/// runtime and one socket set.
 fn run_net() {
     let cluster = LocalCluster::builder(universe())
-        .clients([100, 101, 110, 200])
+        .clients([100])
         .objects(0..KEYS)
         .start()
         .expect("cluster boots on loopback");
-
-    let mut history: Vec<OpCompletion> = Vec::new();
-    // Phase 1: populate all keys.
-    for key in 0..KEYS {
-        history
-            .push(cluster.client(100).write(ObjectId(key), Value::filler(32, 1_000 + key as u64)));
-    }
-    // Phase 2: concurrent updates and audits while the store migrates
-    // from ABD replication to a TREAS [6,4] code.
-    let (recon, phase2w, phase2r) = std::thread::scope(|s| {
-        let recon = s.spawn(|| cluster.client(200).reconfig(ConfigId(1)));
-        let writer = s.spawn(|| {
-            let mut out = Vec::new();
-            for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
-                if i % 2 == 0 {
-                    out.push(
-                        cluster
-                            .client(101)
-                            .write(ObjectId(key), Value::filler(32, 2_000 + i as u64)),
-                    );
-                }
-            }
-            out
-        });
-        let reader = s.spawn(|| {
-            let mut out = Vec::new();
-            for (i, key) in (0..KEYS).cycle().take(16).enumerate() {
-                if i % 2 == 1 {
-                    out.push(cluster.client(110).read(ObjectId(key)));
-                }
-            }
-            out
-        });
-        (
-            recon.join().expect("reconfigurer"),
-            writer.join().expect("writer"),
-            reader.join().expect("reader"),
-        )
-    });
-    history.push(recon);
-    history.extend(phase2w);
-    history.extend(phase2r);
-    // Phase 3: final audit of every key (strictly after phase 2).
-    for key in 0..KEYS {
-        history.push(cluster.client(110).read(ObjectId(key)));
-    }
+    let history = run_store(cluster.store(100));
     cluster.shutdown();
     audit(&history, &expectations(), "loopback TCP");
 }

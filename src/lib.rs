@@ -31,5 +31,7 @@ pub use ares_types as types;
 
 // Convenience re-exports of the entry points most users start from.
 pub use ares_core::{ClientActor, ClientCmd, ClientConfig, Msg, ServerActor};
-pub use ares_harness::{check_atomicity, standard_universe, Scenario};
-pub use ares_types::{ConfigId, Configuration, ProcessId, Tag, Value};
+pub use ares_core::{OpError, OpTicket, Store, StoreSession};
+pub use ares_harness::{check_atomicity, standard_universe, Scenario, SimStore};
+pub use ares_net::NetStore;
+pub use ares_types::{ConfigId, Configuration, ProcessId, SessionId, Tag, Value};
