@@ -144,6 +144,14 @@ impl ReadNextFrame {
             return FStep::idle();
         }
         self.replies.push(from);
+        // A pointer naming its own configuration is corrupt (servers
+        // refuse to install self-loops, but an old or hostile server
+        // could still reply with one): treat it as ⊥ rather than walk
+        // a cycle forever.
+        let next = match next {
+            Some(e) if e.cfg == self.base.id => &None,
+            other => other,
+        };
         if let Some(e) = next {
             // Prefer F over P (Alg. 4 lines 16-19); consensus guarantees
             // the cfg ids agree.
@@ -272,7 +280,11 @@ impl DapFrame {
     }
 
     fn start(&mut self, env: &mut Env<'_>) -> FStep {
-        let ctx = DapCtx::new(self.cfg.clone(), self.obj, env.me, env.op);
+        // Scale the get-data retry base with the deployment's backoff
+        // unit (the knob hosts already tune toward their RTT); the
+        // default unit of 50 reproduces DapCtx's sim-tuned 200 exactly.
+        let mut ctx = DapCtx::new(self.cfg.clone(), self.obj, env.me, env.op);
+        ctx.retry_interval = env.backoff_unit * 4;
         let action = self.action.take().expect("started once");
         let (call, step) = DapCall::start(ctx, action, env.rpc);
         self.call = Some(call);
@@ -362,11 +374,15 @@ pub(crate) struct TransferFrame {
     obj: ObjectId,
     rpc: RpcId,
     acks: Vec<ProcessId>,
+    /// Rebroadcast rounds performed; the retry delay grows
+    /// exponentially in it (capped) so a transfer stalled by load backs
+    /// off instead of re-amplifying the ×(src · dst) forward fan-out.
+    attempts: u32,
 }
 
 impl TransferFrame {
     fn new(tag: Tag, src: ConfigId, dst: Arc<ares_types::Configuration>, obj: ObjectId) -> Self {
-        TransferFrame { tag, src, dst, obj, rpc: RpcId(0), acks: Vec::new() }
+        TransferFrame { tag, src, dst, obj, rpc: RpcId(0), acks: Vec::new(), attempts: 0 }
     }
 
     fn start(&mut self, env: &mut Env<'_>) -> FStep {
@@ -394,11 +410,12 @@ impl TransferFrame {
         // md-primitive: one atomic broadcast step (see DESIGN.md).
         let mut step =
             FStep::sends(src_cfg.servers.iter().map(|&s| (s, Msg::Xfer(msg.clone()))).collect());
-        step.timer = Some(env.backoff_unit * 8);
+        step.timer = Some((env.backoff_unit * 8) << self.attempts.min(6));
         step
     }
 
     fn on_timer(&mut self, env: &mut Env<'_>) -> FStep {
+        self.attempts += 1;
         self.broadcast(env)
     }
 
@@ -622,9 +639,35 @@ impl ReconFrame {
     fn on_child(&mut self, out: FrameOut, env: &mut Env<'_>) -> FStep {
         match (&self.phase, out) {
             (ReconPhase::Discover, FrameOut::Seq(seq)) => {
+                self.seq = seq;
+                // If the discovered chain already contains the target —
+                // a rival reconfigurer won the race for the same
+                // configuration — add-config must be SKIPPED: proposing
+                // `c` on the consensus object of a chain that already
+                // ends with `c` would install `nextC(c) = c`, a
+                // self-loop every future `read-config` walk re-absorbs
+                // and re-propagates forever (a permanent livelock of
+                // the whole discovery service, observed as a Cfg-message
+                // storm on the live runtime). The recon instead adopts
+                // the chain end as the decision and still runs
+                // update-config + finalize-config, so state handover
+                // and finalization complete even if the rival crashed
+                // mid-reconfiguration.
+                if self.seq.contains(self.target) {
+                    self.decided = self.seq.last().cfg;
+                    if self.seq.nu() == 0 {
+                        // The chain is just the genesis configuration
+                        // (necessarily the target): there is no older
+                        // configuration to migrate from or to write a
+                        // finalize pointer to — reconfig(c0) completes
+                        // as a no-op. (finalize() would index seq[ν−1].)
+                        return FStep::out(FrameOut::ReconDone(self.decided, self.seq.clone()));
+                    }
+                    self.obj_idx = 0;
+                    return self.begin_object_update(env);
+                }
                 // add-config: propose on the consensus object of the last
                 // configuration in the sequence.
-                self.seq = seq;
                 self.phase = ReconPhase::Propose;
                 let base = env.cfg(self.seq.last().cfg);
                 FStep::push(Frame::Propose(ProposeFrame::new(base, self.target)))

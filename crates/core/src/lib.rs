@@ -58,6 +58,7 @@ mod frames;
 mod msg;
 pub mod repair;
 mod server;
+pub mod shard;
 pub mod store;
 
 pub use client::{ClientActor, ClientConfig};

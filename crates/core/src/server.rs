@@ -101,6 +101,15 @@ impl ServerActor {
                 vec![(from, Msg::Cfg(CfgMsg::NextC { base, rpc, next, op }))]
             }
             CfgMsg::WriteConfig { base, entry, rpc, op } => {
+                // A configuration can never be its own successor: the
+                // consensus service only ever decides a *new* chain
+                // entry, so a self-loop write is a protocol-violation
+                // artifact (buggy or hostile client) — installing it
+                // would make every future `read-config` walk follow the
+                // loop forever. Drop without acking.
+                if entry.cfg == base {
+                    return Vec::new();
+                }
                 // Alg. 6: update if nextC = ⊥ or nextC.status = P; once
                 // F, the pointer never changes (Lemma 46).
                 match self.nextc.get_mut(&base) {
@@ -443,6 +452,20 @@ mod tests {
         // F -> P is refused (Lemma 46)
         s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::pending(ConfigId(1))));
         assert_eq!(s.next_config(ConfigId(0)), Some(ConfigEntry::finalized(ConfigId(1))));
+    }
+
+    #[test]
+    fn self_loop_write_config_is_refused() {
+        // A configuration must never become its own successor: a
+        // self-loop in `nextC` would make every `read-config` walk
+        // cycle forever. Such a write is dropped without an ack.
+        let mut s = ServerActor::new(ProcessId(1), registry());
+        let out = s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::pending(ConfigId(0))));
+        assert!(out.is_empty(), "no ack for a self-loop write-config");
+        assert_eq!(s.next_config(ConfigId(0)), None, "pointer stays ⊥");
+        // A legitimate successor still installs afterwards.
+        s.handle_cfg(ProcessId(200), wc(0, ConfigEntry::pending(ConfigId(1))));
+        assert_eq!(s.next_config(ConfigId(0)), Some(ConfigEntry::pending(ConfigId(1))));
     }
 
     #[test]

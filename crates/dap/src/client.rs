@@ -37,12 +37,23 @@ pub struct DapCtx {
     pub me: ProcessId,
     /// The client operation this call belongs to.
     pub op: OpId,
-    /// Retry interval for the TREAS `get-data` wait condition.
+    /// Base retry interval for the TREAS `get-data` wait condition;
+    /// retry `r` waits `retry_interval · 2^min(r,6)` (exponential with
+    /// a cap). A *fixed* interval congestion-collapses on a real
+    /// network: each retry re-broadcasts under a fresh phase id and
+    /// discards the partial quorum, so once load pushes the effective
+    /// round trip past the interval, every reply arrives stale and the
+    /// read spins at full rate forever — amplifying the very load that
+    /// stalled it. Backing off lets the queues drain so one phase's
+    /// replies can assemble. Hosts should scale the base toward their
+    /// round-trip time (`ClientConfig::backoff_unit` is threaded here
+    /// by `ares-core`).
     pub retry_interval: Time,
 }
 
 impl DapCtx {
-    /// Creates a context with the default retry interval.
+    /// Creates a context with the default retry interval (tuned for the
+    /// simulator's `[d, D] = [10, 50]` delay scale).
     pub fn new(cfg: Arc<Configuration>, obj: ObjectId, me: ProcessId, op: OpId) -> Self {
         DapCtx { cfg, obj, me, op, retry_interval: 200 }
     }
@@ -237,7 +248,7 @@ impl DapCall {
                     Step::idle()
                 }
             }
-            (Inner::TreasGetData { lists, timer_armed, .. }, DapBody::TreasList(l)) => {
+            (Inner::TreasGetData { lists, timer_armed, retries }, DapBody::TreasList(l)) => {
                 lists.insert(from, l.clone());
                 if lists.len() < quorum {
                     return Step::idle();
@@ -250,10 +261,12 @@ impl DapCall {
                     }
                     None => {
                         // Not yet decodable: keep waiting for stragglers
-                        // and arm one retry timer.
+                        // and arm one retry timer (exponential in the
+                        // retry count — see `DapCtx::retry_interval`).
                         if !*timer_armed {
                             *timer_armed = true;
-                            Step::idle().with_timer(self.ctx.retry_interval)
+                            let delay = self.ctx.retry_interval << (*retries).min(6);
+                            Step::idle().with_timer(delay)
                         } else {
                             Step::idle()
                         }

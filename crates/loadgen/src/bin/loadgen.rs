@@ -8,16 +8,21 @@
 //! documented in README).
 //!
 //! Usage: `cargo run --release -p ares-loadgen --bin loadgen --
-//! [--quick] [--out PATH] [--sessions-out PATH]`
+//! [--quick] [--verbose] [--only-shards] [--out PATH]
+//! [--sessions-out PATH] [--shards-out PATH]`
 //!
 //! `--quick` shrinks every dimension for CI smoke runs (a few seconds);
-//! the default sizing targets a laptop-scale minute.
+//! the default sizing targets a laptop-scale minute. `--only-shards`
+//! runs just the shard-scaling sweep (full-size unless `--quick`);
+//! `--verbose` prints every node's per-shard runtime counters after
+//! each sweep leg.
 
 use ares_loadgen::json::JsonWriter;
 use ares_loadgen::wirebench::{abd_write_pipeline, treas_write_pipeline, AbResult};
 use ares_loadgen::{
-    run_cluster, run_cluster_sessions, run_open_loop_cluster, run_open_loop_sim, run_sim,
-    LatencyHistogram, LoadReport, LoadSpec, OpenLoopReport, OpenLoopSpec,
+    run_cluster, run_cluster_sessions, run_cluster_sharded, run_open_loop_cluster,
+    run_open_loop_sim, run_sim, LatencyHistogram, LoadReport, LoadSpec, OpenLoopReport,
+    OpenLoopSpec, ShardRunReport,
 };
 use ares_types::{ConfigId, Configuration, ProcessId};
 
@@ -103,6 +108,132 @@ fn open_loop_json(w: &mut JsonWriter, backend: &str, spec: &OpenLoopSpec, r: &Op
     w.end_object();
 }
 
+fn node_stats_json(w: &mut JsonWriter, pid: u32, s: &ares_net::NodeStats) {
+    w.begin_object();
+    w.u64("pid", pid as u64);
+    w.begin_array_key("shards");
+    for sh in &s.shards {
+        w.begin_object();
+        w.u64("frames_routed", sh.frames_routed);
+        w.u64("events_applied", sh.events_applied);
+        w.u64("inbox_high_water", sh.inbox_high_water as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.u64("batches_flushed", s.batches_flushed);
+    w.u64("frames_sent", s.frames_sent);
+    w.f64("frames_per_flush", s.frames_per_flush());
+    w.u64("frames_abandoned", s.frames_abandoned);
+    w.u64("outbound_dropped", s.outbound_dropped);
+    w.end_object();
+}
+
+fn print_node_stats(nodes: &[(u32, ares_net::NodeStats)]) {
+    for (pid, s) in nodes {
+        let shards: Vec<String> = s
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| {
+                format!(
+                    "s{i}: routed {} applied {} hw {}",
+                    sh.frames_routed, sh.events_applied, sh.inbox_high_water
+                )
+            })
+            .collect();
+        println!(
+            "  node {pid}: {} | {} flushes / {} frames ({:.2} frames/flush), dropped {}, abandoned {}",
+            shards.join(" | "),
+            s.batches_flushed,
+            s.frames_sent,
+            s.frames_per_flush(),
+            s.outbound_dropped,
+            s.frames_abandoned
+        );
+    }
+}
+
+/// The shard-scaling sweep: the same small-value many-session workload
+/// over one cluster shape, with server nodes partitioned into 1, 2, 4
+/// event-loop shards. Client streams drive as sessions over many
+/// independent store runtimes so the measured variable is server-side
+/// shard parallelism, not client serialization. Every leg's history is
+/// atomicity-checked.
+fn run_shard_sweep(quick: bool, verbose: bool, out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (sessions, stores, objects, ops, shard_list): (usize, usize, usize, usize, &[usize]) =
+        if quick { (12, 4, 8, 8, &[1, 4]) } else { (64, 16, 32, 100, &[1, 2, 4]) };
+    let spec = LoadSpec {
+        clients: sessions,
+        objects,
+        value_size: 256,
+        read_percent: 50,
+        ops_per_client: ops,
+        seed: 31,
+    };
+    println!(
+        "\n# shard sweep: {sessions} sessions over {stores} stores, {objects} objects, \
+         256 B TREAS [5,3], host has {cores} core(s)"
+    );
+    let mut legs: Vec<(usize, ShardRunReport)> = Vec::new();
+    for &shards in shard_list {
+        let run = run_cluster_sharded(&spec, treas53(), shards, stores).expect("sweep bring-up");
+        run.report.assert_atomic();
+        print_report("cluster", &format!("{shards}-shard nodes"), &run.report);
+        if verbose {
+            print_node_stats(&run.node_stats);
+        }
+        legs.push((shards, run));
+    }
+    let base = legs.first().expect("sweep ran").1.report.ops_per_sec;
+    let top = legs.last().expect("sweep ran");
+    let speedup = top.1.report.ops_per_sec / base.max(1e-9);
+    println!("shard scaling {}x over 1x: {speedup:.2}× on {cores} core(s)", top.0);
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.string("schema", "ares-bench-shards/v1");
+    w.string("mode", if quick { "quick" } else { "full" });
+    w.u64("host_parallelism", cores as u64);
+    w.string("config", "treas53");
+    w.u64("stores", stores as u64);
+    w.begin_array_key("sweep");
+    for (shards, run) in &legs {
+        w.begin_object();
+        w.u64("shards", *shards as u64);
+        report_json_body(&mut w, &spec, &run.report);
+        w.begin_array_key("nodes");
+        for (pid, s) in &run.node_stats {
+            node_stats_json(&mut w, *pid, s);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.f64(&format!("speedup_{}x_over_1x", top.0), speedup);
+    w.end_object();
+    std::fs::write(out_path, w.finish() + "\n").expect("write shards json");
+    println!("wrote {out_path}");
+
+    // The multi-core acceptance gate: ≥ 2× aggregate op/s from 1 to 4
+    // shards — meaningful only where the OS can actually schedule the
+    // shard threads in parallel, so it arms on hosts with ≥ 4 cores
+    // (shard event loops are CPU-bound; on a 1-core container the sweep
+    // measures routing overhead, and ~1.0× is the expected result).
+    if !quick && cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "sharded nodes must scale: {}-shard over 1-shard was {speedup:.2}× on {cores} cores",
+            top.0
+        );
+    } else if speedup < 2.0 {
+        println!(
+            "(scaling gate not armed: quick={quick}, {cores} core(s) — \
+             ≥2× requires ≥4 cores to schedule shards in parallel)"
+        );
+    }
+}
+
 fn print_report(kind: &str, name: &str, r: &LoadReport) {
     let (rp50, rp99, _) = r.read_hist.percentiles();
     let (wp50, wp99, _) = r.write_hist.percentiles();
@@ -112,21 +243,27 @@ fn print_report(kind: &str, name: &str, r: &LoadReport) {
     );
 }
 
+/// The value following `flag`, or `default` when absent.
+fn arg_value(args: &[String], flag: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
-    let sessions_out_path = args
-        .iter()
-        .position(|a| a == "--sessions-out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_sessions.json".to_string());
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let shards_out_path = arg_value(&args, "--shards-out", "BENCH_shards.json");
+    if args.iter().any(|a| a == "--only-shards") {
+        println!("# loadgen (quick={quick}) — shard-scaling sweep only\n");
+        run_shard_sweep(quick, verbose, &shards_out_path);
+        return;
+    }
+    let out_path = arg_value(&args, "--out", "BENCH_throughput.json");
+    let sessions_out_path = arg_value(&args, "--sessions-out", "BENCH_sessions.json");
 
     println!("# loadgen (quick={quick}) — closed-loop throughput + wire-path A/B\n");
 
@@ -312,6 +449,9 @@ fn main() {
     w.end_object();
     std::fs::write(&sessions_out_path, w.finish() + "\n").expect("write sessions json");
     println!("wrote {sessions_out_path}");
+
+    // ---- shard-scaling sweep ---------------------------------------
+    run_shard_sweep(quick, verbose, &shards_out_path);
 
     // The acceptance gates: the 1 MiB TREAS [5,3] write pipeline must
     // stay measurably faster than the seed's, and one session-

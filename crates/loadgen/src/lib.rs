@@ -174,9 +174,21 @@ impl<S: StoreSession> SessionLoop<S> {
     /// Opens one session per client stream and submits each stream's
     /// first command.
     fn start(store: &impl Store<Session = S>, spec: &LoadSpec) -> Self {
-        let mut sessions: Vec<S> = (0..spec.clients).map(|_| store.open_session()).collect();
+        Self::start_streams(store, spec, 0..spec.clients)
+    }
+
+    /// Like [`SessionLoop::start`], but driving only the client streams
+    /// in `streams` — lets several stores split one spec's streams
+    /// between them (each stream keeps its global index, so command
+    /// sequences and write digests stay those of the whole spec).
+    fn start_streams(
+        store: &impl Store<Session = S>,
+        spec: &LoadSpec,
+        streams: std::ops::Range<usize>,
+    ) -> Self {
+        let mut sessions: Vec<S> = streams.clone().map(|_| store.open_session()).collect();
         let mut pending: Vec<VecDeque<ClientCmd>> =
-            (0..spec.clients).map(|i| spec.client_ops(i).into()).collect();
+            streams.map(|i| spec.client_ops(i).into()).collect();
         let outstanding = sessions
             .iter_mut()
             .zip(&mut pending)
@@ -228,6 +240,10 @@ impl<S: StoreSession> SessionLoop<S> {
             self.write_hist,
             self.completions,
         )
+    }
+
+    fn into_parts(self) -> (LatencyHistogram, LatencyHistogram, Vec<OpCompletion>) {
+        (self.read_hist, self.write_hist, self.completions)
     }
 }
 
@@ -288,6 +304,105 @@ pub fn run_cluster_sessions(
     let elapsed = t0.elapsed().as_secs_f64();
     cluster.shutdown();
     Ok(driver.into_report(elapsed, spec.value_size))
+}
+
+/// Outcome of one sharded-cluster run: the load report plus every
+/// server node's runtime counter snapshot (taken right before
+/// shutdown), so a sweep can report routing balance and outbound
+/// batching next to throughput.
+pub struct ShardRunReport {
+    /// The merged load report across all driving stores.
+    pub report: LoadReport,
+    /// `(server pid, stats)` per node, ascending by pid.
+    pub node_stats: Vec<(u32, ares_net::NodeStats)>,
+}
+
+/// Runs `spec` over a live cluster whose server nodes are partitioned
+/// into `shards` event-loop shards, driving the spec's client streams
+/// as sessions split across `stores` independent [`ares_net::NetStore`]
+/// runtimes (one driver thread each). Multiple stores keep the
+/// *client* side from serializing the experiment, so the sweep's
+/// variable — server-side shard parallelism — is what's measured.
+///
+/// `stores` is clamped to the number of client streams.
+///
+/// # Errors
+///
+/// Propagates socket errors from cluster bring-up.
+///
+/// # Panics
+///
+/// Panics if the workload stops making progress (a liveness bug).
+pub fn run_cluster_sharded(
+    spec: &LoadSpec,
+    configs: Vec<Configuration>,
+    shards: usize,
+    stores: usize,
+) -> io::Result<ShardRunReport> {
+    let stores = stores.clamp(1, spec.clients.max(1));
+    let client_ids: Vec<u32> = (0..stores as u32).map(|i| 100 + i).collect();
+    let cluster = LocalCluster::builder(configs)
+        .clients(client_ids.iter().copied())
+        .objects(0..spec.objects.max(1) as u32)
+        .shards(shards)
+        .start()?;
+
+    let t0 = Instant::now();
+    let per = spec.clients / stores;
+    let extra = spec.clients % stores;
+    let parts: Vec<(LatencyHistogram, LatencyHistogram, Vec<OpCompletion>)> =
+        std::thread::scope(|s| {
+            let mut start = 0usize;
+            let handles: Vec<_> = client_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &pid)| {
+                    let streams = start..start + per + usize::from(i < extra);
+                    start = streams.end;
+                    let cluster = &cluster;
+                    s.spawn(move || {
+                        let store = cluster.store(pid);
+                        let mut driver = SessionLoop::start_streams(store, spec, streams);
+                        let mut seen = 0u64;
+                        let begun = Instant::now();
+                        while !driver.done() {
+                            assert!(
+                                begun.elapsed()
+                                    < ares_net::DEFAULT_OP_TIMEOUT + Duration::from_secs(240),
+                                "sharded session workload did not complete (liveness bug)"
+                            );
+                            seen = store.wait_progress(seen, Duration::from_millis(100));
+                            driver.sweep();
+                        }
+                        driver.into_parts()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("store driver")).collect()
+        });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let node_stats: Vec<(u32, ares_net::NodeStats)> =
+        cluster.server_pids().iter().map(|p| (p.0, cluster.node_stats(p.0))).collect();
+    cluster.shutdown();
+
+    let mut read_hist = LatencyHistogram::new();
+    let mut write_hist = LatencyHistogram::new();
+    let mut completions = Vec::with_capacity(spec.total_ops());
+    for (r, w, c) in parts {
+        read_hist.merge(&r);
+        write_hist.merge(&w);
+        completions.extend(c);
+    }
+    Ok(ShardRunReport {
+        report: LoadReport::from_parts(
+            elapsed,
+            spec.value_size,
+            read_hist,
+            write_hist,
+            completions,
+        ),
+        node_stats,
+    })
 }
 
 /// Runs `spec` against a live loopback TCP cluster over `configs`

@@ -61,6 +61,38 @@ fn session_multiplexed_cluster_history_is_atomic() {
 }
 
 #[test]
+fn sharded_cluster_loadgen_is_atomic_and_stats_surface() {
+    // The shard-sweep runner: sessions split over two stores, 2-shard
+    // server nodes. Beyond atomicity, this pins the runtime-metrics
+    // satellite: every node's counters must reflect the run (routed
+    // frames, applied events, flushed batches), so regressions that
+    // silently stop counting — or silently drop frames — fail here.
+    let spec = LoadSpec {
+        clients: 4,
+        objects: 4,
+        value_size: 256,
+        read_percent: 40,
+        ops_per_client: 8,
+        seed: 9,
+    };
+    let run = ares_loadgen::run_cluster_sharded(&spec, treas53(), 2, 2).expect("cluster bring-up");
+    assert_eq!(run.report.ops, spec.total_ops() as u64, "all scheduled ops complete");
+    check_atomicity(&run.report.completions).assert_atomic();
+    assert_eq!(run.node_stats.len(), 5, "one stats snapshot per server node");
+    for (pid, s) in &run.node_stats {
+        assert_eq!(s.shards.len(), 2, "node {pid} ran 2 shards");
+        assert!(s.frames_routed() > 0, "node {pid} routed frames");
+        assert!(
+            s.events_applied() >= s.frames_routed(),
+            "node {pid} applied every routed frame (plus local events)"
+        );
+        assert!(s.batches_flushed > 0, "node {pid} flushed outbound batches");
+        assert!(s.frames_sent >= s.batches_flushed, "node {pid}: ≥1 frame per flush");
+        assert_eq!(s.outbound_dropped, 0, "a healthy run evicts no outbound frames");
+    }
+}
+
+#[test]
 fn open_loop_cluster_completes_offered_load_atomically() {
     let spec = ares_loadgen::OpenLoopSpec {
         sessions: 6,

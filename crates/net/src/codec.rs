@@ -1173,6 +1173,17 @@ pub fn referenced_object(msg: &Msg) -> Option<ObjectId> {
     }
 }
 
+/// The shard index `msg` dispatches to on an `shards`-shard node — the
+/// listener's cheap routing peek, sitting next to [`referenced_object`]
+/// / [`referenced_configs`] in the decode path. Object-scoped protocol
+/// traffic (DAP, state transfer, repair) hashes by the object it names;
+/// config-wide traffic (consensus, configuration service) and
+/// command/invoke envelopes return shard 0. The classification itself
+/// lives in [`ares_core::shard`], next to the message tree.
+pub fn shard_route(msg: &Msg, shards: usize) -> usize {
+    ares_core::shard::shard_of(msg, shards)
+}
+
 /// Every configuration id referenced by `msg`.
 ///
 /// Network-facing dispatch uses this with

@@ -1,0 +1,1142 @@
+//! The sharded actor-hosting layer: listeners, shard event loops,
+//! timers, and the batching outbound writer pool.
+//!
+//! A host runs `S ≥ 1` **shards**, each an independent sequential event
+//! loop owning one actor instance — the multi-core generalization of
+//! the single event loop the paper's sequential server implies. One
+//! listener accepts all connections; each connection's reader thread
+//! decodes frames and routes every message to a shard with the
+//! [`ares_core::shard`] classification (object-scoped traffic to the
+//! shard owning that object, config-wide traffic to shard 0). Outbound
+//! frames from all shards funnel into one per-peer writer pool whose
+//! writer threads drain their queue in batches: one `write`+`flush`
+//! pair per drained batch, not per frame — latency-neutral when idle
+//! (an empty queue flushes immediately), syscall-collapsing under load.
+//!
+//! Clients ([`crate::NetStore`]) use the same machinery with `S = 1`:
+//! their command lanes and completion routing assume one loop.
+
+use crate::codec::{self, read_frame};
+use ares_core::Msg;
+use ares_sim::{Actor, Ctx, HostEffect};
+use ares_types::{ConfigRegistry, ObjectId, OpCompletion, ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Timer thread
+// ---------------------------------------------------------------------
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    shutdown: bool,
+}
+
+pub(crate) struct Timers {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+impl Timers {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Timers {
+            state: Mutex::new(TimerState { heap: BinaryHeap::new(), shutdown: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn arm(&self, deadline: Instant, token: u64) {
+        self.state.lock().expect("timer lock").heap.push(Reverse((deadline, token)));
+        self.cv.notify_one();
+    }
+
+    fn clear(&self) {
+        self.state.lock().expect("timer lock").heap.clear();
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("timer lock").shutdown = true;
+        self.cv.notify_one();
+    }
+
+    /// Runs until shutdown, delivering due tokens through `fire`.
+    pub(crate) fn run(&self, fire: impl Fn(u64)) {
+        let mut st = self.state.lock().expect("timer lock");
+        loop {
+            if st.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            match st.heap.peek().copied() {
+                None => {
+                    st = self.cv.wait(st).expect("timer lock");
+                }
+                Some(Reverse((deadline, token))) if deadline <= now => {
+                    st.heap.pop();
+                    drop(st);
+                    fire(token);
+                    st = self.state.lock().expect("timer lock");
+                }
+                Some(Reverse((deadline, _))) => {
+                    let (guard, _) = self.cv.wait_timeout(st, deadline - now).expect("timer lock");
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outbound peer pool
+// ---------------------------------------------------------------------
+
+/// Per-peer bound on queued outbound frames. A crashed or unreachable
+/// peer must not accumulate frames (and the shared payload allocations
+/// they pin) without limit while its writer retries: past this mark the
+/// queue drops its *oldest* frame — loss to a dead peer is already in
+/// the model (DESIGN §6: the asynchronous channels the protocols assume
+/// tolerate message loss, and quorum logic never waits on a dead
+/// destination), and the newest frames are the ones a recovering peer
+/// can still act on. Evictions are counted and surface in
+/// [`NodeStats::outbound_dropped`] — never silent.
+pub(crate) const OUTBOUND_HIGH_WATER: usize = 1024;
+
+/// A bounded MPSC frame queue with drop-oldest overflow semantics.
+/// Frames are `Arc<[u8]>` so a broadcast enqueues n refcounts of one
+/// encoded buffer, not n copies.
+pub(crate) struct FrameQueue {
+    state: Mutex<FrameQueueState>,
+    cv: Condvar,
+}
+
+struct FrameQueueState {
+    queue: std::collections::VecDeque<Arc<[u8]>>,
+    closed: bool,
+    dropped: u64,
+}
+
+impl FrameQueue {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(FrameQueue {
+            state: Mutex::new(FrameQueueState {
+                queue: std::collections::VecDeque::new(),
+                closed: false,
+                dropped: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Enqueues a frame, evicting the oldest queued frame beyond the
+    /// high-water mark. Never blocks the sending (event-loop) thread.
+    pub(crate) fn push(&self, frame: Arc<[u8]>) {
+        let mut st = self.state.lock().expect("frame queue lock");
+        if st.closed {
+            return;
+        }
+        if st.queue.len() >= OUTBOUND_HIGH_WATER {
+            st.queue.pop_front();
+            st.dropped += 1;
+        }
+        st.queue.push_back(frame);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next frame(s), draining **everything queued** into
+    /// `out` in one go; `false` once closed and drained. This is what
+    /// the writer batches on: one flush per drained batch.
+    pub(crate) fn pop_batch(&self, out: &mut Vec<Arc<[u8]>>) -> bool {
+        let mut st = self.state.lock().expect("frame queue lock");
+        loop {
+            if !st.queue.is_empty() {
+                out.extend(st.queue.drain(..));
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            st = self.cv.wait(st).expect("frame queue lock");
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("frame queue lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.state.lock().expect("frame queue lock").queue.len()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.state.lock().expect("frame queue lock").dropped
+    }
+}
+
+/// Outbound-writer counters, shared by every writer thread of one pool.
+#[derive(Default)]
+pub(crate) struct WriterCounters {
+    batches_flushed: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_abandoned: AtomicU64,
+}
+
+pub(crate) struct PeerPool {
+    book: Arc<crate::runtime::AddrBook>,
+    queues: Mutex<HashMap<ProcessId, Arc<FrameQueue>>>,
+    counters: Arc<WriterCounters>,
+}
+
+impl PeerPool {
+    pub(crate) fn new(book: Arc<crate::runtime::AddrBook>) -> Arc<Self> {
+        Arc::new(PeerPool {
+            book,
+            queues: Mutex::new(HashMap::new()),
+            counters: Arc::new(WriterCounters::default()),
+        })
+    }
+
+    /// Enqueues an encoded frame for `to`, spawning its writer thread on
+    /// first use. The pool lock is held only for the map lookup/insert —
+    /// never across `thread::spawn` or the queue push — so one sender
+    /// making first contact with a new peer cannot stall every
+    /// concurrent sender behind the OS thread-creation latency.
+    pub(crate) fn send(&self, to: ProcessId, frame: Arc<[u8]>) {
+        let Some(addr) = self.book.addr(to) else {
+            return; // unknown destination: drop, like the simulator does
+        };
+        let (queue, spawn) = {
+            let mut queues = self.queues.lock().expect("pool lock");
+            match queues.get(&to) {
+                Some(q) => (q.clone(), false),
+                None => {
+                    let q = FrameQueue::new();
+                    queues.insert(to, q.clone());
+                    (q, true)
+                }
+            }
+        };
+        if spawn {
+            let writer_queue = queue.clone();
+            let counters = self.counters.clone();
+            std::thread::spawn(move || writer_loop(addr, writer_queue, counters));
+        }
+        queue.push(frame);
+    }
+
+    /// `(batches_flushed, frames_sent, frames_abandoned, evictions)`.
+    ///
+    /// Loads `batches_flushed` *before* `frames_sent` (both `SeqCst`,
+    /// matching the writer's frames-then-batches increment order), so a
+    /// snapshot can never observe `frames_sent < batches_flushed` —
+    /// every counted batch carried ≥ 1 frame.
+    pub(crate) fn stats(&self) -> (u64, u64, u64, u64) {
+        let dropped =
+            self.queues.lock().expect("pool lock").values().map(|q| q.dropped()).sum::<u64>();
+        let batches = self.counters.batches_flushed.load(Ordering::SeqCst);
+        let frames = self.counters.frames_sent.load(Ordering::SeqCst);
+        (batches, frames, self.counters.frames_abandoned.load(Ordering::Relaxed), dropped)
+    }
+
+    #[cfg(test)]
+    fn queue_len(&self, to: ProcessId) -> usize {
+        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.len())
+    }
+
+    #[cfg(test)]
+    fn queue_dropped(&self, to: ProcessId) -> u64 {
+        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.dropped())
+    }
+}
+
+impl Drop for PeerPool {
+    fn drop(&mut self) {
+        // Wake and retire every writer thread (they hold only their own
+        // queue Arc, so closing is what ends them).
+        for q in self.queues.lock().expect("pool lock").values() {
+            q.close();
+        }
+    }
+}
+
+/// Whether the peer has closed this connection (a FIN is pending): a
+/// nonblocking one-byte peek returns `Ok(0)` exactly then. Without this
+/// check, a frame written into a connection the peer tore down during a
+/// crash window is buffered locally, "succeeds", and is silently lost —
+/// violating the reliable-channel model for messages sent *after* the
+/// peer recovered. (Peers never send data on inbound connections, so
+/// `Ok(n > 0)` does not occur; replies travel over the peer's own
+/// outbound pool.)
+fn peer_closed(s: &TcpStream) -> bool {
+    if s.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let dead = matches!(s.peek(&mut [0u8; 1]), Ok(0));
+    dead | s.set_nonblocking(false).is_err()
+}
+
+/// The writer's socket buffer: sized so a typical drained batch of
+/// small frames coalesces into one `write(2)` when flushed.
+const WRITER_BUF: usize = 64 * 1024;
+
+/// One outbound connection: drains the queue in batches, (re)connects
+/// on demand, writes every frame of the batch, flushes **once**.
+///
+/// Batching is adaptive with no knobs: an idle connection's queue holds
+/// one frame when the writer wakes, so that frame is written and
+/// flushed immediately (latency-neutral); under load the queue grows
+/// while the previous batch is in `write_all`, and the whole backlog
+/// drains under a single flush (syscall-collapsing).
+///
+/// A batch that cannot be written after one reconnect attempt is
+/// dropped (and counted) — the asynchronous-channel abstraction the
+/// protocols assume tolerates loss to crashed peers, and quorum logic
+/// never waits on a dead destination. A mid-batch failure retries the
+/// *whole* batch on the fresh connection: the peer tore the old
+/// connection down, so partially-delivered frames vanished with it, and
+/// a duplicated frame is harmless (quorum phases are idempotent and
+/// deduplicate by rpc/op id).
+pub(crate) fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>, counters: Arc<WriterCounters>) {
+    let mut stream: Option<BufWriter<TcpStream>> = None;
+    let connect = |addr: SocketAddr| -> Option<BufWriter<TcpStream>> {
+        for backoff_ms in [0u64, 20, 100] {
+            if backoff_ms > 0 {
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+            }
+            if let Ok(s) = TcpStream::connect(addr) {
+                let _ = s.set_nodelay(true);
+                return Some(BufWriter::with_capacity(WRITER_BUF, s));
+            }
+        }
+        None
+    };
+    // Peer-close detection is amortized off the hot path: a FIN racing
+    // an active burst surfaces as a write error anyway (handled below);
+    // the silent-loss window needs the connection to have been *idle*
+    // across a crash window, so only the first batch after an idle gap
+    // pays the peek syscalls.
+    const IDLE_BEFORE_PEEK: Duration = Duration::from_millis(2);
+    let mut last_write: Option<Instant> = None;
+    let mut batch: Vec<Arc<[u8]>> = Vec::new();
+    while queue.pop_batch(&mut batch) {
+        let mut sent = false;
+        for _attempt in 0..2 {
+            let idle = last_write.is_none_or(|t| t.elapsed() >= IDLE_BEFORE_PEEK);
+            if idle && stream.as_ref().is_some_and(|s| peer_closed(s.get_ref())) {
+                // The peer hung up (e.g. a crash window severed us):
+                // writing would buffer into a dead socket and lose the
+                // batch without an error. Reconnect first.
+                stream = None;
+            }
+            if stream.is_none() {
+                stream = connect(addr);
+            }
+            let Some(s) = stream.as_mut() else { break };
+            let wrote = batch.iter().try_for_each(|f| s.write_all(f)).and_then(|()| s.flush());
+            if wrote.is_ok() {
+                last_write = Some(Instant::now());
+                // Frames before batches, both SeqCst (and the snapshot
+                // loads them in the opposite order): a concurrent
+                // stats() must never observe frames_sent <
+                // batches_flushed — every batch carries ≥ 1 frame, and
+                // Relaxed increments of distinct atomics could be seen
+                // reordered on weakly-ordered hardware.
+                counters.frames_sent.fetch_add(batch.len() as u64, Ordering::SeqCst);
+                counters.batches_flushed.fetch_add(1, Ordering::SeqCst);
+                sent = true;
+                break;
+            }
+            stream = None; // write failed: reconnect once, then give up
+        }
+        if !sent {
+            counters.frames_abandoned.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        batch.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generic sharded actor host
+// ---------------------------------------------------------------------
+
+/// How a host surfaces completed client operations to its frontend.
+/// Called on the event-loop thread; implementations must be quick and
+/// non-blocking (the store frontend routes by `OpId` into ticket cells).
+pub(crate) type CompletionSink = Box<dyn Fn(OpCompletion) + Send + 'static>;
+
+/// Maps a message to the shard index it must execute on (`shards` is
+/// the host's shard count). Server hosts pass [`codec::shard_route`];
+/// single-sharded client hosts pass a constant-zero router.
+pub(crate) type ShardRouter = fn(&Msg, usize) -> usize;
+
+pub(crate) enum Event<A> {
+    Deliver {
+        from: ProcessId,
+        msg: Msg,
+        /// True for network-sourced events, which count against the
+        /// inbound high-water mark (local loopback/injections do not).
+        counted: bool,
+    },
+    Timer {
+        token: u64,
+    },
+    Pause,
+    Resume,
+    Replace(A),
+    Shutdown,
+}
+
+/// What the listener admits: used to drop traffic for fabricated ids
+/// before it can create per-object or per-config actor state.
+pub(crate) struct Admission {
+    pub(crate) registry: Arc<ConfigRegistry>,
+    /// When set, only these objects are served; `None` admits any
+    /// object (a deployment with an open object universe).
+    pub(crate) objects: Option<std::collections::HashSet<ObjectId>>,
+}
+
+impl Admission {
+    fn admits(&self, msg: &Msg) -> bool {
+        codec::referenced_configs(msg).iter().all(|&c| self.registry.try_get(c).is_some())
+            && match (&self.objects, codec::referenced_object(msg)) {
+                (Some(set), Some(obj)) => set.contains(&obj),
+                _ => true,
+            }
+    }
+}
+
+/// Backpressure threshold for each shard's inbound event queue: reader
+/// threads stall (propagating TCP backpressure to the peer) while this
+/// many network events are waiting on one shard, so a fast or hostile
+/// peer cannot grow the unbounded mpsc queue — and the decoded frames
+/// it holds — without limit. Local events (timers, self-sends,
+/// injections) bypass the gate; they are intrinsically bounded.
+const INBOUND_HIGH_WATER: usize = 4096;
+
+/// Live counters of one shard (atomics shared between the reader
+/// threads, the shard's event loop, and [`ShardedHost::stats`]).
+#[derive(Default)]
+struct ShardCounters {
+    frames_routed: AtomicU64,
+    events_applied: AtomicU64,
+    inbox_high_water: AtomicUsize,
+}
+
+/// Snapshot of one shard's counters (see [`NodeStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Network frames routed to this shard, counted as their delivery
+    /// is applied (so `frames_routed ≤ events_applied` at every
+    /// observation point; frames dropped in a crash window count
+    /// nowhere).
+    pub frames_routed: u64,
+    /// Events (deliveries + timer fires) the shard's actor processed.
+    pub events_applied: u64,
+    /// Peak backlog of the shard's inbox (network events only).
+    pub inbox_high_water: usize,
+}
+
+/// Snapshot of a node's runtime counters, from
+/// [`crate::NodeRuntime::stats`]. Cheap to take (atomic loads); numbers
+/// are monotone since host start.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Outbound batches flushed (one `flush` syscall path per batch).
+    pub batches_flushed: u64,
+    /// Outbound frames written inside those batches.
+    pub frames_sent: u64,
+    /// Frames dropped after a failed write + reconnect (dead peer).
+    pub frames_abandoned: u64,
+    /// Frames evicted from full outbound queues (drop-oldest policy).
+    pub outbound_dropped: u64,
+}
+
+impl NodeStats {
+    /// Total network frames routed across all shards.
+    pub fn frames_routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.frames_routed).sum()
+    }
+
+    /// Total events applied across all shards.
+    pub fn events_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_applied).sum()
+    }
+
+    /// Mean frames coalesced per flush (1.0 = the unbatched baseline).
+    pub fn frames_per_flush(&self) -> f64 {
+        self.frames_sent as f64 / (self.batches_flushed.max(1)) as f64
+    }
+}
+
+/// One shard's handles held by the host.
+struct ShardHandle<A> {
+    tx: Sender<Event<A>>,
+    timers: Arc<Timers>,
+    inbound: Arc<AtomicUsize>,
+    counters: Arc<ShardCounters>,
+}
+
+/// Per-connection routing targets handed to each reader thread.
+struct RouteTargets<A> {
+    txs: Vec<Sender<Event<A>>>,
+    inbounds: Vec<Arc<AtomicUsize>>,
+    counters: Vec<Arc<ShardCounters>>,
+    router: ShardRouter,
+}
+
+impl<A> Clone for RouteTargets<A> {
+    fn clone(&self) -> Self {
+        RouteTargets {
+            txs: self.txs.clone(),
+            inbounds: self.inbounds.clone(),
+            counters: self.counters.clone(),
+            router: self.router,
+        }
+    }
+}
+
+/// A sharded actor host: `S` event loops behind one listener and one
+/// outbound pool. `S = 1` reproduces the seed's single-loop host
+/// exactly (one inbox, every message to shard 0).
+pub(crate) struct ShardedHost<A: Actor<Msg> + Send + 'static> {
+    pub(crate) pid: ProcessId,
+    pub(crate) local_addr: SocketAddr,
+    shards: Vec<ShardHandle<A>>,
+    router: ShardRouter,
+    /// Shared with reader threads: while set, every received frame is
+    /// dropped and its connection closed (crash window).
+    paused: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    pool: Arc<PeerPool>,
+    /// A clone of the listening socket, kept so shutdown can flip it
+    /// nonblocking (belt to the throwaway-connection braces).
+    listener: TcpListener,
+    threads: Vec<JoinHandle<()>>,
+    /// The accept thread is not joined: if its `accept()` cannot be
+    /// unblocked (e.g. fd exhaustion defeats the wake-up connection),
+    /// shutdown must still return; the thread exits with the process.
+    _accept_thread: JoinHandle<()>,
+}
+
+impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
+    /// Starts a host with one shard per element of `actors`, routing
+    /// messages between them with `router`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        pid: ProcessId,
+        actors: Vec<A>,
+        router: ShardRouter,
+        admission: Admission,
+        book: Arc<crate::runtime::AddrBook>,
+        listener: TcpListener,
+        epoch: Instant,
+        completions: Option<CompletionSink>,
+    ) -> io::Result<Self> {
+        assert!(!actors.is_empty(), "a host needs at least one shard");
+        let local_addr = listener.local_addr()?;
+        let listener_clone = listener.try_clone()?;
+        let paused = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = PeerPool::new(book);
+        let mut threads = Vec::new();
+
+        // Build every shard's channel first so each event loop can be
+        // handed the full tx set (cross-shard self-sends route through
+        // it: a server forwarding a coded element to itself must land
+        // on the *object's* shard, which may not be its own).
+        let n = actors.len();
+        let mut shards: Vec<ShardHandle<A>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Receiver<Event<A>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel::<Event<A>>();
+            shards.push(ShardHandle {
+                tx,
+                timers: Timers::new(),
+                inbound: Arc::new(AtomicUsize::new(0)),
+                counters: Arc::new(ShardCounters::default()),
+            });
+            rxs.push(rx);
+        }
+        let txs: Vec<Sender<Event<A>>> = shards.iter().map(|s| s.tx.clone()).collect();
+
+        // One event loop + one timer thread per shard.
+        let mut completions = completions;
+        for (si, (actor, rx)) in actors.into_iter().zip(rxs).enumerate() {
+            let loopbacks = txs.clone();
+            let pool = pool.clone();
+            let timers = shards[si].timers.clone();
+            let inbound = shards[si].inbound.clone();
+            let counters = shards[si].counters.clone();
+            // Completions only ever come from client actors, which are
+            // single-sharded; hand the sink to shard 0.
+            let sink = if si == 0 { completions.take() } else { None };
+            threads.push(std::thread::spawn(move || {
+                event_loop(
+                    pid, si, actor, rx, loopbacks, router, pool, timers, epoch, sink, inbound,
+                    counters,
+                );
+            }));
+            let tx = shards[si].tx.clone();
+            let timers = shards[si].timers.clone();
+            threads.push(std::thread::spawn(move || {
+                timers.run(|token| {
+                    let _ = tx.send(Event::Timer { token });
+                });
+            }));
+        }
+
+        // Listener.
+        let targets = RouteTargets {
+            txs,
+            inbounds: shards.iter().map(|s| s.inbound.clone()).collect(),
+            counters: shards.iter().map(|s| s.counters.clone()).collect(),
+            router,
+        };
+        let accept_thread = {
+            let paused = paused.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, Arc::new(admission), targets, paused, shutdown);
+            })
+        };
+        Ok(ShardedHost {
+            pid,
+            local_addr,
+            shards,
+            router,
+            paused,
+            shutdown,
+            pool,
+            listener: listener_clone,
+            threads,
+            _accept_thread: accept_thread,
+        })
+    }
+
+    /// Number of shards this host runs.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Injects a message as if delivered from `from`, routed like any
+    /// other traffic (an environment repair trigger for object `o`
+    /// lands on `o`'s shard).
+    pub(crate) fn inject(&self, from: ProcessId, msg: Msg) {
+        let si = (self.router)(&msg, self.shards.len());
+        let _ = self.shards[si].tx.send(Event::Deliver { from, msg, counted: false });
+    }
+
+    pub(crate) fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+        for s in &self.shards {
+            s.timers.clear();
+            let _ = s.tx.send(Event::Pause);
+        }
+    }
+
+    pub(crate) fn resume(&self) {
+        for s in &self.shards {
+            let _ = s.tx.send(Event::Resume);
+        }
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Replaces every shard's actor (a restart that lost its state);
+    /// `actors` must supply one replacement per shard.
+    pub(crate) fn replace_all(&self, actors: Vec<A>) {
+        assert_eq!(actors.len(), self.shards.len(), "one replacement actor per shard");
+        for (s, a) in self.shards.iter().zip(actors) {
+            let _ = s.tx.send(Event::Replace(a));
+        }
+    }
+
+    /// Snapshot of the per-shard and outbound-writer counters.
+    pub(crate) fn stats(&self) -> NodeStats {
+        let (batches_flushed, frames_sent, frames_abandoned, outbound_dropped) = self.pool.stats();
+        NodeStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    // frames_routed loads before events_applied (both
+                    // SeqCst, matching the event loop's events-then-
+                    // routed increment order), so a snapshot can never
+                    // observe frames_routed > events_applied.
+                    let frames_routed = s.counters.frames_routed.load(Ordering::SeqCst);
+                    ShardStats {
+                        frames_routed,
+                        events_applied: s.counters.events_applied.load(Ordering::SeqCst),
+                        inbox_high_water: s.counters.inbox_high_water.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+            batches_flushed,
+            frames_sent,
+            frames_abandoned,
+            outbound_dropped,
+        }
+    }
+
+    pub(crate) fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for s in &self.shards {
+            s.timers.shutdown();
+            let _ = s.tx.send(Event::Shutdown);
+        }
+        // Unblock the accept loop: flip the shared socket nonblocking
+        // (future accepts return immediately) and poke it with a
+        // throwaway connection (wakes an already-blocked accept). The
+        // accept thread is deliberately not joined — see its field doc.
+        let _ = self.listener.set_nonblocking(true);
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accepts inbound connections and spawns a frame-reader per connection.
+fn accept_loop<A: Actor<Msg> + Send + 'static>(
+    listener: TcpListener,
+    admission: Arc<Admission>,
+    targets: RouteTargets<A>,
+    paused: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                let targets = targets.clone();
+                let admission = admission.clone();
+                let paused = paused.clone();
+                let shutdown = shutdown.clone();
+                // Reader threads are daemons: they exit on EOF, on any
+                // read/decode error, and on pause/shutdown.
+                std::thread::spawn(move || {
+                    reader_loop(stream, admission, targets, paused, shutdown);
+                });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (e.g. fd exhaustion under a
+                // connection flood) must not hot-spin a core.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Decodes frames off one connection and routes them to shard inboxes.
+///
+/// Malformed input — a hostile length prefix, truncated frame, unknown
+/// variant byte, or a message naming an unregistered configuration —
+/// tears down *this connection only*; the node keeps serving everyone
+/// else. Nothing on this path can panic the host.
+fn reader_loop<A: Actor<Msg> + Send + 'static>(
+    stream: TcpStream,
+    admission: Arc<Admission>,
+    targets: RouteTargets<A>,
+    paused: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some((from, msg))) => {
+                if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
+                    return; // crash window: drop frame, sever connection
+                }
+                // Command/invoke frames are environment-injected, never
+                // protocol traffic: a peer must not be able to drive a
+                // host's client sessions over the network. The trusted
+                // local path is `inject()`.
+                if matches!(msg, Msg::Cmd(_) | Msg::Invoke(_)) {
+                    continue;
+                }
+                // Network-facing dispatch guard: a stale or hostile
+                // configuration id must not reach the actors, whose
+                // internal registry lookups treat unknown ids as
+                // protocol bugs (`try_get` makes the check total), and
+                // a deployment with a declared object universe drops
+                // traffic for fabricated objects before it can create
+                // per-object state.
+                if admission.admits(&msg) {
+                    let si = (targets.router)(&msg, targets.txs.len());
+                    let inbound = &targets.inbounds[si];
+                    // Backpressure: stall this connection (and, through
+                    // TCP, its peer) while the shard's event queue is
+                    // saturated instead of letting it grow without
+                    // bound. Per-shard gates keep one slow shard from
+                    // stalling traffic bound for the others — unless it
+                    // shares a connection, which is TCP's own
+                    // head-of-line constraint.
+                    while inbound.load(Ordering::SeqCst) >= INBOUND_HIGH_WATER {
+                        if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let backlog = inbound.fetch_add(1, Ordering::SeqCst) + 1;
+                    targets.counters[si].inbox_high_water.fetch_max(backlog, Ordering::Relaxed);
+                    // frames_routed is counted by the shard as it
+                    // *applies* the delivery, not here: a snapshot must
+                    // never observe a routed frame that has not yet
+                    // been applied (events_applied ≥ frames_routed is
+                    // an invariant tests rely on).
+                    if targets.txs[si].send(Event::Deliver { from, msg, counted: true }).is_err() {
+                        inbound.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// One shard's sequential actor driver: applies events in arrival order
+/// and maps the drained [`HostEffect`]s onto sockets, timers and the
+/// completion log.
+#[allow(clippy::too_many_arguments)]
+fn event_loop<A: Actor<Msg> + Send + 'static>(
+    pid: ProcessId,
+    shard: usize,
+    mut actor: A,
+    rx: Receiver<Event<A>>,
+    loopbacks: Vec<Sender<Event<A>>>,
+    router: ShardRouter,
+    pool: Arc<PeerPool>,
+    timers: Arc<Timers>,
+    epoch: Instant,
+    completions: Option<CompletionSink>,
+    inbound: Arc<AtomicUsize>,
+    counters: Arc<ShardCounters>,
+) {
+    let mut rng = StdRng::seed_from_u64(pid.0 as u64 ^ 0xA1E5_0000 ^ ((shard as u64) << 40));
+    let mut paused = false;
+    while let Ok(ev) = rx.recv() {
+        match ev {
+            Event::Shutdown => return,
+            Event::Pause => paused = true,
+            Event::Resume => paused = false,
+            Event::Replace(a) => actor = a,
+            Event::Deliver { from, msg, counted } => {
+                if counted {
+                    inbound.fetch_sub(1, Ordering::SeqCst);
+                }
+                if paused {
+                    continue;
+                }
+                counters.events_applied.fetch_add(1, Ordering::SeqCst);
+                if counted {
+                    // Counted at apply time (see the reader), events
+                    // before routed, both SeqCst (the snapshot loads
+                    // them in the opposite order): events_applied ≥
+                    // frames_routed holds at every observation point
+                    // on any hardware; frames dropped in a crash
+                    // window are routed nowhere.
+                    counters.frames_routed.fetch_add(1, Ordering::SeqCst);
+                }
+                let now: Time = epoch.elapsed().as_micros() as Time;
+                let mut ctx = Ctx::detached(pid, now, &mut rng);
+                actor.on_message(from, msg, &mut ctx);
+                let effects = ctx.take_effects();
+                apply(pid, effects, &loopbacks, router, &pool, &timers, &completions);
+            }
+            Event::Timer { token } => {
+                if paused {
+                    continue;
+                }
+                counters.events_applied.fetch_add(1, Ordering::SeqCst);
+                let now: Time = epoch.elapsed().as_micros() as Time;
+                let mut ctx = Ctx::detached(pid, now, &mut rng);
+                actor.on_timer(token, &mut ctx);
+                let effects = ctx.take_effects();
+                apply(pid, effects, &loopbacks, router, &pool, &timers, &completions);
+            }
+        }
+    }
+}
+
+fn apply<A>(
+    pid: ProcessId,
+    effects: Vec<HostEffect<Msg>>,
+    loopbacks: &[Sender<Event<A>>],
+    router: ShardRouter,
+    pool: &PeerPool,
+    timers: &Timers,
+    completions: &Option<CompletionSink>,
+) {
+    // Encode-once/send-many: a quorum broadcast arrives here as a run of
+    // `Send` effects whose messages are clones sharing one payload
+    // allocation (equality between them short-circuits on the shared
+    // `Bytes`), so one wire encode serves every destination — the frame
+    // is an `Arc<[u8]>` the per-peer queues refcount instead of copying.
+    let mut last_frame: Option<(Msg, Arc<[u8]>)> = None;
+    for eff in effects {
+        match eff {
+            HostEffect::Send { to, msg } => {
+                if to == pid {
+                    // Self-sends (e.g. a server forwarding a coded
+                    // element to itself) short-circuit the socket —
+                    // routed like network traffic, because the object's
+                    // shard may not be the sending shard.
+                    let si = router(&msg, loopbacks.len());
+                    let _ = loopbacks[si].send(Event::Deliver { from: pid, msg, counted: false });
+                    continue;
+                }
+                let frame = match &last_frame {
+                    Some((m, f)) if *m == msg => f.clone(),
+                    _ => match codec::try_encode_frame(pid, &msg) {
+                        Ok(f) => {
+                            let f: Arc<[u8]> = f.into();
+                            last_frame = Some((msg, f.clone()));
+                            f
+                        }
+                        // An over-limit frame (e.g. a TreasList reply
+                        // whose δ+1 coded elements together exceed
+                        // MAX_FRAME_LEN) is dropped: every receiver
+                        // would reject it anyway, and a long-running
+                        // host must not die over one reply. Quorum
+                        // logic treats it as a lost message.
+                        Err(_) => continue,
+                    },
+                };
+                pool.send(to, frame);
+            }
+            HostEffect::SetTimer { delay, token } => {
+                timers.arm(Instant::now() + Duration::from_micros(delay), token);
+            }
+            HostEffect::Complete(c) => {
+                if let Some(sink) = completions {
+                    sink(c);
+                }
+            }
+            HostEffect::Note(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::AddrBook;
+    use ares_core::ServerActor;
+    use ares_dap::{DapBody, DapMsg, Hdr};
+    use ares_types::{ConfigId, OpId, RpcId, Tag, Value};
+    use std::io::Read;
+
+    fn write_msg(value: Value) -> Msg {
+        Msg::Dap(DapMsg::new(
+            Hdr {
+                cfg: ConfigId(0),
+                obj: ObjectId(0),
+                rpc: RpcId(1),
+                op: OpId { client: ProcessId(9), seq: 0 },
+            },
+            DapBody::AbdWrite(Tag::new(1, ProcessId(9)), value),
+        ))
+    }
+
+    fn frame_of(i: u32) -> Arc<[u8]> {
+        Arc::from(i.to_be_bytes().to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn frame_queue_drops_oldest_beyond_high_water() {
+        let q = FrameQueue::new();
+        for i in 0..(OUTBOUND_HIGH_WATER as u32 + 5) {
+            q.push(frame_of(i));
+        }
+        assert_eq!(q.len(), OUTBOUND_HIGH_WATER, "queue is bounded");
+        assert_eq!(q.dropped(), 5, "excess frames dropped");
+        // Drop-oldest: the first frame still queued is frame 5.
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(&mut batch));
+        assert_eq!(batch.len(), OUTBOUND_HIGH_WATER, "one drain takes the whole backlog");
+        assert_eq!(batch[0].as_ref(), &5u32.to_be_bytes());
+        q.close();
+        // Closed queues drain what they hold, then end.
+        batch.clear();
+        assert!(!q.pop_batch(&mut batch));
+        q.push(frame_of(0)); // push-after-close is a no-op
+        assert!(!q.pop_batch(&mut batch));
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn burst_of_frames_flushes_once() {
+        // The writer-batching regression gate: B frames queued before
+        // the writer runs must drain under ONE flush, not B write+flush
+        // pairs (the seed flushed per frame).
+        const B: usize = 256;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let drain = std::thread::spawn(move || -> usize {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut total = 0;
+            let mut buf = [0u8; 4096];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => return total,
+                    Ok(n) => total += n,
+                }
+            }
+        });
+        let q = FrameQueue::new();
+        for i in 0..B as u32 {
+            q.push(frame_of(i));
+        }
+        q.close();
+        let counters = Arc::new(WriterCounters::default());
+        writer_loop(addr, q, counters.clone()); // runs to completion: queue closed
+        assert_eq!(counters.frames_sent.load(Ordering::Relaxed), B as u64);
+        assert_eq!(
+            counters.batches_flushed.load(Ordering::Relaxed),
+            1,
+            "a ready backlog of {B} frames must coalesce into one flushed batch"
+        );
+        assert_eq!(counters.frames_abandoned.load(Ordering::Relaxed), 0);
+        assert_eq!(drain.join().unwrap(), B * 4, "every frame byte arrived");
+    }
+
+    #[test]
+    fn idle_frames_flush_immediately_per_frame() {
+        // Latency neutrality: with the queue never holding more than one
+        // frame (an idle connection), every frame is its own batch.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let drain = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            while s.read(&mut buf).map(|n| n > 0).unwrap_or(false) {}
+        });
+        let q = FrameQueue::new();
+        let counters = Arc::new(WriterCounters::default());
+        let writer = {
+            let q = q.clone();
+            let counters = counters.clone();
+            std::thread::spawn(move || writer_loop(addr, q, counters))
+        };
+        for i in 0..5u32 {
+            q.push(frame_of(i));
+            // Wait until the writer drained and flushed this frame
+            // before offering the next: each must be its own batch.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while counters.frames_sent.load(Ordering::Relaxed) < (i + 1) as u64 {
+                assert!(Instant::now() < deadline, "writer stalled");
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        writer.join().unwrap();
+        assert_eq!(counters.frames_sent.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            counters.batches_flushed.load(Ordering::Relaxed),
+            5,
+            "an idle connection flushes every frame immediately"
+        );
+        drain.join().unwrap();
+    }
+
+    #[test]
+    fn dead_peer_queue_stays_bounded_and_evictions_surface_in_stats() {
+        // A book entry pointing at a port nothing listens on: the writer
+        // thread burns reconnect backoffs while the event loop keeps
+        // sending. The per-peer queue must never exceed the high-water
+        // mark no matter how fast frames arrive — and the evictions must
+        // show up in the pool's stats, not vanish silently.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+            // listener dropped: connections now refused
+        };
+        let book = Arc::new(AddrBook::from_entries([(ProcessId(2), dead)]));
+        let pool = PeerPool::new(book);
+        let frame: Arc<[u8]> = Arc::from(vec![0u8; 64].into_boxed_slice());
+        for _ in 0..(3 * OUTBOUND_HIGH_WATER) {
+            pool.send(ProcessId(2), frame.clone());
+        }
+        assert!(
+            pool.queue_len(ProcessId(2)) <= OUTBOUND_HIGH_WATER,
+            "unreachable peer must not accumulate frames past the high-water mark"
+        );
+        assert!(pool.queue_dropped(ProcessId(2)) > 0, "overflow drops, not growth");
+        let (_, _, _, evicted) = pool.stats();
+        assert!(evicted > 0, "drop-oldest evictions must surface in the stats snapshot");
+    }
+
+    #[test]
+    fn quorum_broadcast_encodes_exactly_once() {
+        // Five Send effects carrying clones of one 1 MiB write (what a
+        // DapCall broadcast emits) must serialize once: the per-peer
+        // queues then share the single encoded frame by refcount.
+        let me = ProcessId(9);
+        let value = Value::filler(1 << 20, 7);
+        let effects: Vec<HostEffect<Msg>> = (1..=5u32)
+            .map(|s| HostEffect::Send { to: ProcessId(s), msg: write_msg(value.clone()) })
+            .collect();
+        let (tx, _rx) = mpsc::channel::<Event<ServerActor>>();
+        let loopbacks = vec![tx];
+        let pool = PeerPool::new(Arc::new(AddrBook::new()));
+        let timers = Timers::new();
+        let before = codec::frames_encoded();
+        apply(me, effects, &loopbacks, codec::shard_route, &pool, &timers, &None);
+        assert_eq!(
+            codec::frames_encoded() - before,
+            1,
+            "a 5-target quorum broadcast must perform exactly one wire encode"
+        );
+
+        // Distinct payloads (a TREAS fragment fan-out) still encode
+        // per destination — the cache keys on message equality.
+        let effects: Vec<HostEffect<Msg>> = (1..=5u32)
+            .map(|s| HostEffect::Send {
+                to: ProcessId(s),
+                msg: write_msg(Value::filler(64, s as u64)),
+            })
+            .collect();
+        let (tx, _rx) = mpsc::channel::<Event<ServerActor>>();
+        let before = codec::frames_encoded();
+        apply(me, effects, &[tx], codec::shard_route, &pool, &timers, &None);
+        assert_eq!(codec::frames_encoded() - before, 5);
+    }
+
+    #[test]
+    fn broadcast_performs_zero_deep_value_copies() {
+        // The message clones a broadcast fans out must all view the one
+        // value allocation; the only copy on the wire path is the single
+        // frame encode (pinned above).
+        let value = Value::filler(1 << 20, 3);
+        let msgs: Vec<Msg> = (0..5).map(|_| write_msg(value.clone())).collect();
+        for m in &msgs {
+            let Msg::Dap(d) = m else { unreachable!() };
+            let DapBody::AbdWrite(_, v) = &d.body else { unreachable!() };
+            assert!(
+                bytes::Bytes::shares_allocation(value.bytes(), v.bytes()),
+                "broadcast clone must share the value allocation"
+            );
+        }
+        // 1 original + 5 clones, zero new allocations.
+        assert_eq!(value.bytes().ref_count(), 6);
+    }
+}

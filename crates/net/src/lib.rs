@@ -9,10 +9,13 @@
 //!   encoding for the whole `ares_core::Msg` tree, with strict
 //!   bounds-checked decoding of untrusted input ([`codec::WireEncode`] /
 //!   [`codec::WireDecode`]);
-//! * [`NodeRuntime`] — a server node: per-connection reader threads feed
-//!   a single event loop over an mpsc channel, a deadline-based timer
-//!   thread delivers `timer_after` wakeups, and outbound sends go
-//!   through a reconnecting connection pool;
+//! * [`ShardedNode`] (alias [`NodeRuntime`]) — a server node hosted on
+//!   `S ≥ 1` event-loop shards: per-connection reader threads route
+//!   each decoded frame to the shard owning its object (config-wide
+//!   traffic serializes on shard 0 — see `ares_core::shard`), per-shard
+//!   deadline timer threads deliver `timer_after` wakeups, and outbound
+//!   sends go through a reconnecting connection pool whose writers
+//!   drain in adaptively-batched writes (one flush per drained batch);
 //! * [`RemoteClient`] — drives client operations (read / write /
 //!   reconfig) against a live cluster and returns the same
 //!   [`ares_types::OpCompletion`] records the harness checkers consume;
@@ -46,10 +49,13 @@
 //! ```
 
 pub mod codec;
+mod host;
 mod runtime;
 pub mod testing;
 
 pub use codec::{DecodeError, WireDecode, WireEncode, MAX_FRAME_LEN, WIRE_VERSION};
+pub use host::{NodeStats, ShardStats};
 pub use runtime::{
-    AddrBook, NetSession, NetStore, NetTicket, NodeRuntime, RemoteClient, DEFAULT_OP_TIMEOUT, ENV,
+    AddrBook, NetSession, NetStore, NetTicket, NodeRuntime, RemoteClient, ShardedNode,
+    DEFAULT_OP_TIMEOUT, ENV,
 };

@@ -2,51 +2,53 @@
 //!
 //! The protocol engines in this workspace are pure state machines — the
 //! simulator drives them with virtual events; this module drives the
-//! *same* `ServerActor` / `ClientActor` types with real sockets:
+//! *same* `ServerActor` / `ClientActor` types with real sockets, via the
+//! sharded hosting layer of [`crate::host`]:
 //!
 //! * one **listener thread** accepts connections; each connection gets a
 //!   **reader thread** that decodes length-prefixed frames
-//!   ([`crate::codec`]) and forwards `(from, Msg)` events;
-//! * a single **event-loop thread** owns the actor and processes all
-//!   events in arrival order (the actor therefore stays single-threaded,
-//!   exactly as under the simulator);
-//! * a **timer thread** turns `timer_after` requests into deadline-based
-//!   wakeups delivered back into the event loop;
+//!   ([`crate::codec`]) and routes `(from, Msg)` events to a shard;
+//! * `S ≥ 1` **shard event-loop threads** each own one sequential actor
+//!   instance. A [`ShardedNode`] partitions the server by object
+//!   ([`ares_core::shard`]): per-object traffic executes on the shard
+//!   owning that object, config-wide traffic (consensus, configuration
+//!   service) serializes on shard 0 — so per-object and per-config
+//!   execution stay exactly the paper's single-process server. Client
+//!   hosts ([`NetStore`]) run a single shard;
+//! * per-shard **timer threads** turn `timer_after` requests into
+//!   deadline-based wakeups delivered back into the owning shard;
 //! * outbound sends go through a **peer pool**: one writer thread per
-//!   destination, connecting on demand and reconnecting after failures.
+//!   destination, connecting on demand, reconnecting after failures,
+//!   and draining its queue in adaptively-batched writes (one flush per
+//!   drained batch).
 //!
 //! Wall-clock time is reported to actors as microseconds since a shared
 //! epoch ([`ares_types::Time`] is documented as abstract microseconds),
 //! so completion records from different hosts of one deployment are
 //! mutually comparable and feed the usual atomicity checker.
 //!
-//! Crash-stop faults are modelled at the host boundary: [`NodeRuntime::pause`]
+//! Crash-stop faults are modelled at the host boundary: [`ShardedNode::pause`]
 //! makes the node drop every delivered frame and pending timer (peers
 //! see their connections close and must reconnect), and
-//! [`NodeRuntime::resume`] lets the retained state rejoin — the
+//! [`ShardedNode::resume`] lets the retained state rejoin — the
 //! semantics of `ares-sim`'s crash/recover schedule. A blank-state
 //! restart composes with the fragment-repair protocol via
-//! [`NodeRuntime::replace`].
+//! [`ShardedNode::replace_blank`].
 
-use crate::codec::{self, read_frame};
+use crate::codec;
+use crate::host::{Admission, CompletionSink, NodeStats, ShardedHost};
 use ares_core::store::{session_op_seq, Store, StoreSession};
 use ares_core::{
     ClientActor, ClientCmd, ClientConfig, Invoke, Msg, OpError, OpTicket, ServerActor,
 };
-use ares_sim::{Actor, Ctx, HostEffect};
 use ares_types::{
     ConfigId, ConfigRegistry, ObjectId, OpCompletion, OpId, ProcessId, SessionId, Time, Value,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// The environment pseudo-process used as the `from` of injected events
@@ -101,665 +103,39 @@ impl AddrBook {
     }
 }
 
-// ---------------------------------------------------------------------
-// Timer thread
-// ---------------------------------------------------------------------
-
-struct TimerState {
-    heap: BinaryHeap<Reverse<(Instant, u64)>>,
-    shutdown: bool,
-}
-
-struct Timers {
-    state: Mutex<TimerState>,
-    cv: Condvar,
-}
-
-impl Timers {
-    fn new() -> Arc<Self> {
-        Arc::new(Timers {
-            state: Mutex::new(TimerState { heap: BinaryHeap::new(), shutdown: false }),
-            cv: Condvar::new(),
-        })
-    }
-
-    fn arm(&self, deadline: Instant, token: u64) {
-        self.state.lock().expect("timer lock").heap.push(Reverse((deadline, token)));
-        self.cv.notify_one();
-    }
-
-    fn clear(&self) {
-        self.state.lock().expect("timer lock").heap.clear();
-    }
-
-    fn shutdown(&self) {
-        self.state.lock().expect("timer lock").shutdown = true;
-        self.cv.notify_one();
-    }
-
-    /// Runs until shutdown, delivering due tokens through `fire`.
-    fn run(&self, fire: impl Fn(u64)) {
-        let mut st = self.state.lock().expect("timer lock");
-        loop {
-            if st.shutdown {
-                return;
-            }
-            let now = Instant::now();
-            match st.heap.peek().copied() {
-                None => {
-                    st = self.cv.wait(st).expect("timer lock");
-                }
-                Some(Reverse((deadline, token))) if deadline <= now => {
-                    st.heap.pop();
-                    drop(st);
-                    fire(token);
-                    st = self.state.lock().expect("timer lock");
-                }
-                Some(Reverse((deadline, _))) => {
-                    let (guard, _) = self.cv.wait_timeout(st, deadline - now).expect("timer lock");
-                    st = guard;
-                }
-            }
-        }
-    }
+/// The constant-zero router of single-sharded (client) hosts.
+fn single_shard(_: &Msg, _: usize) -> usize {
+    0
 }
 
 // ---------------------------------------------------------------------
-// Outbound peer pool
+// The sharded server node
 // ---------------------------------------------------------------------
 
-/// Per-peer bound on queued outbound frames. A crashed or unreachable
-/// peer must not accumulate frames (and the shared payload allocations
-/// they pin) without limit while its writer retries: past this mark the
-/// queue drops its *oldest* frame — loss to a dead peer is already in
-/// the model (DESIGN §6: the asynchronous channels the protocols assume
-/// tolerate message loss, and quorum logic never waits on a dead
-/// destination), and the newest frames are the ones a recovering peer
-/// can still act on.
-const OUTBOUND_HIGH_WATER: usize = 1024;
-
-/// A bounded MPSC frame queue with drop-oldest overflow semantics.
-/// Frames are `Arc<[u8]>` so a broadcast enqueues n refcounts of one
-/// encoded buffer, not n copies.
-struct FrameQueue {
-    state: Mutex<FrameQueueState>,
-    cv: Condvar,
-}
-
-struct FrameQueueState {
-    queue: std::collections::VecDeque<Arc<[u8]>>,
-    closed: bool,
-    dropped: u64,
-}
-
-impl FrameQueue {
-    fn new() -> Arc<Self> {
-        Arc::new(FrameQueue {
-            state: Mutex::new(FrameQueueState {
-                queue: std::collections::VecDeque::new(),
-                closed: false,
-                dropped: 0,
-            }),
-            cv: Condvar::new(),
-        })
-    }
-
-    /// Enqueues a frame, evicting the oldest queued frame beyond the
-    /// high-water mark. Never blocks the sending (event-loop) thread.
-    fn push(&self, frame: Arc<[u8]>) {
-        let mut st = self.state.lock().expect("frame queue lock");
-        if st.closed {
-            return;
-        }
-        if st.queue.len() >= OUTBOUND_HIGH_WATER {
-            st.queue.pop_front();
-            st.dropped += 1;
-        }
-        st.queue.push_back(frame);
-        drop(st);
-        self.cv.notify_one();
-    }
-
-    /// Blocks for the next frame; `None` once closed and drained.
-    fn pop(&self) -> Option<Arc<[u8]>> {
-        let mut st = self.state.lock().expect("frame queue lock");
-        loop {
-            if let Some(f) = st.queue.pop_front() {
-                return Some(f);
-            }
-            if st.closed {
-                return None;
-            }
-            st = self.cv.wait(st).expect("frame queue lock");
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("frame queue lock").closed = true;
-        self.cv.notify_all();
-    }
-
-    #[cfg(test)]
-    fn len(&self) -> usize {
-        self.state.lock().expect("frame queue lock").queue.len()
-    }
-
-    #[cfg(test)]
-    fn dropped(&self) -> u64 {
-        self.state.lock().expect("frame queue lock").dropped
-    }
-}
-
-struct PeerPool {
-    book: Arc<AddrBook>,
-    queues: Mutex<HashMap<ProcessId, Arc<FrameQueue>>>,
-}
-
-impl PeerPool {
-    fn new(book: Arc<AddrBook>) -> Arc<Self> {
-        Arc::new(PeerPool { book, queues: Mutex::new(HashMap::new()) })
-    }
-
-    /// Enqueues an encoded frame for `to`, spawning its writer thread on
-    /// first use. The pool lock is held only for the map lookup/insert —
-    /// never across `thread::spawn` or the queue push — so one sender
-    /// making first contact with a new peer cannot stall every
-    /// concurrent sender behind the OS thread-creation latency.
-    fn send(&self, to: ProcessId, frame: Arc<[u8]>) {
-        let Some(addr) = self.book.addr(to) else {
-            return; // unknown destination: drop, like the simulator does
-        };
-        let (queue, spawn) = {
-            let mut queues = self.queues.lock().expect("pool lock");
-            match queues.get(&to) {
-                Some(q) => (q.clone(), false),
-                None => {
-                    let q = FrameQueue::new();
-                    queues.insert(to, q.clone());
-                    (q, true)
-                }
-            }
-        };
-        if spawn {
-            let writer_queue = queue.clone();
-            std::thread::spawn(move || writer_loop(addr, writer_queue));
-        }
-        queue.push(frame);
-    }
-
-    #[cfg(test)]
-    fn queue_len(&self, to: ProcessId) -> usize {
-        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.len())
-    }
-
-    #[cfg(test)]
-    fn queue_dropped(&self, to: ProcessId) -> u64 {
-        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.dropped())
-    }
-}
-
-impl Drop for PeerPool {
-    fn drop(&mut self) {
-        // Wake and retire every writer thread (they hold only their own
-        // queue Arc, so closing is what ends them).
-        for q in self.queues.lock().expect("pool lock").values() {
-            q.close();
-        }
-    }
-}
-
-/// Whether the peer has closed this connection (a FIN is pending): a
-/// nonblocking one-byte peek returns `Ok(0)` exactly then. Without this
-/// check, a frame written into a connection the peer tore down during a
-/// crash window is buffered locally, "succeeds", and is silently lost —
-/// violating the reliable-channel model for messages sent *after* the
-/// peer recovered. (Peers never send data on inbound connections, so
-/// `Ok(n > 0)` does not occur; replies travel over the peer's own
-/// outbound pool.)
-fn peer_closed(s: &TcpStream) -> bool {
-    if s.set_nonblocking(true).is_err() {
-        return true;
-    }
-    let dead = matches!(s.peek(&mut [0u8; 1]), Ok(0));
-    dead | s.set_nonblocking(false).is_err()
-}
-
-/// One outbound connection: pops frames, (re)connects on demand, writes.
+/// A live ARES server node hosted on `S ≥ 1` core-parallel shards: `S`
+/// independent [`ServerActor`] event loops behind one TCP listener.
 ///
-/// A frame that cannot be written after one reconnect attempt is
-/// dropped — the asynchronous-channel abstraction the protocols assume
-/// tolerates loss to crashed peers, and quorum logic never waits on a
-/// dead destination.
-fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>) {
-    let mut stream: Option<BufWriter<TcpStream>> = None;
-    let connect = |addr: SocketAddr| -> Option<BufWriter<TcpStream>> {
-        for backoff_ms in [0u64, 20, 100] {
-            if backoff_ms > 0 {
-                std::thread::sleep(Duration::from_millis(backoff_ms));
-            }
-            if let Ok(s) = TcpStream::connect(addr) {
-                let _ = s.set_nodelay(true);
-                return Some(BufWriter::new(s));
-            }
-        }
-        None
-    };
-    // Peer-close detection is amortized off the hot path: a FIN racing
-    // an active burst surfaces as a write error anyway (handled below);
-    // the silent-loss window needs the connection to have been *idle*
-    // across a crash window, so only the first write after an idle gap
-    // pays the peek syscalls.
-    const IDLE_BEFORE_PEEK: Duration = Duration::from_millis(2);
-    let mut last_write: Option<Instant> = None;
-    while let Some(frame) = queue.pop() {
-        for _attempt in 0..2 {
-            let idle = last_write.is_none_or(|t| t.elapsed() >= IDLE_BEFORE_PEEK);
-            if idle && stream.as_ref().is_some_and(|s| peer_closed(s.get_ref())) {
-                // The peer hung up (e.g. a crash window severed us):
-                // writing would buffer into a dead socket and lose the
-                // frame without an error. Reconnect first.
-                stream = None;
-            }
-            if stream.is_none() {
-                stream = connect(addr);
-            }
-            let Some(s) = stream.as_mut() else { break };
-            if s.write_all(&frame).and_then(|()| s.flush()).is_ok() {
-                last_write = Some(Instant::now());
-                break;
-            }
-            stream = None; // write failed: reconnect once, then give up
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// The generic actor host
-// ---------------------------------------------------------------------
-
-/// How a host surfaces completed client operations to its frontend.
-/// Called on the event-loop thread; implementations must be quick and
-/// non-blocking (the store frontend routes by `OpId` into ticket cells).
-type CompletionSink = Box<dyn Fn(OpCompletion) + Send + 'static>;
-
-enum Event<A> {
-    Deliver {
-        from: ProcessId,
-        msg: Msg,
-        /// True for network-sourced events, which count against the
-        /// inbound high-water mark (local loopback/injections do not).
-        counted: bool,
-    },
-    Timer {
-        token: u64,
-    },
-    Pause,
-    Resume,
-    Replace(A),
-    Shutdown,
-}
-
-/// What the listener admits: used to drop traffic for fabricated ids
-/// before it can create per-object or per-config actor state.
-struct Admission {
+/// Messages route by the [`ares_core::shard`] classification — traffic
+/// for one object always executes on one shard (the paper's sequential
+/// server, per object), config-wide traffic (Paxos, configuration
+/// service) serializes on shard 0 (the paper's sequential server, per
+/// configuration). `S = 1` (the [`ShardedNode::serve`] default) is
+/// bit-compatible with the seed's single event loop.
+pub struct ShardedNode {
+    host: ShardedHost<ServerActor>,
     registry: Arc<ConfigRegistry>,
-    /// When set, only these objects are served; `None` admits any
-    /// object (a deployment with an open object universe).
-    objects: Option<std::collections::HashSet<ObjectId>>,
 }
 
-impl Admission {
-    fn admits(&self, msg: &Msg) -> bool {
-        codec::referenced_configs(msg).iter().all(|&c| self.registry.try_get(c).is_some())
-            && match (&self.objects, codec::referenced_object(msg)) {
-                (Some(set), Some(obj)) => set.contains(&obj),
-                _ => true,
-            }
-    }
-}
+/// The historical name of [`ShardedNode`] (a node ran exactly one event
+/// loop before the sharded runtime); kept so deployment code reads
+/// naturally where shard count is irrelevant.
+pub type NodeRuntime = ShardedNode;
 
-/// Backpressure threshold for the inbound event queue: reader threads
-/// stall (propagating TCP backpressure to the peer) while this many
-/// network events are waiting, so a fast or hostile peer cannot grow
-/// the unbounded mpsc queue — and the decoded frames it holds —
-/// without limit. Local events (timers, self-sends, injections) bypass
-/// the gate; they are intrinsically bounded.
-const INBOUND_HIGH_WATER: usize = 4096;
-
-struct Host<A: Actor<Msg> + Send + 'static> {
-    pid: ProcessId,
-    local_addr: SocketAddr,
-    tx: Sender<Event<A>>,
-    /// Shared with reader threads: while set, every received frame is
-    /// dropped and its connection closed (crash window).
-    paused: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    timers: Arc<Timers>,
-    /// A clone of the listening socket, kept so shutdown can flip it
-    /// nonblocking (belt to the throwaway-connection braces).
-    listener: TcpListener,
-    threads: Vec<JoinHandle<()>>,
-    /// The accept thread is not joined: if its `accept()` cannot be
-    /// unblocked (e.g. fd exhaustion defeats the wake-up connection),
-    /// shutdown must still return; the thread exits with the process.
-    _accept_thread: JoinHandle<()>,
-}
-
-impl<A: Actor<Msg> + Send + 'static> Host<A> {
-    #[allow(clippy::too_many_arguments)]
-    fn start(
-        pid: ProcessId,
-        actor: A,
-        admission: Admission,
-        book: Arc<AddrBook>,
-        listener: TcpListener,
-        epoch: Instant,
-        completions: Option<CompletionSink>,
-    ) -> io::Result<Self> {
-        let local_addr = listener.local_addr()?;
-        let listener_clone = listener.try_clone()?;
-        let (tx, rx) = mpsc::channel::<Event<A>>();
-        let inbound = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let paused = Arc::new(AtomicBool::new(false));
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let timers = Timers::new();
-        let pool = PeerPool::new(book);
-        let mut threads = Vec::new();
-
-        // Event loop.
-        {
-            let tx = tx.clone();
-            let timers = timers.clone();
-            let inbound = inbound.clone();
-            threads.push(std::thread::spawn(move || {
-                event_loop(pid, actor, rx, tx, pool, timers, epoch, completions, inbound);
-            }));
-        }
-        // Timer thread.
-        {
-            let tx = tx.clone();
-            let timers = timers.clone();
-            threads.push(std::thread::spawn(move || {
-                timers.run(|token| {
-                    let _ = tx.send(Event::Timer { token });
-                });
-            }));
-        }
-        // Listener.
-        let accept_thread = {
-            let tx = tx.clone();
-            let paused = paused.clone();
-            let shutdown = shutdown.clone();
-            let inbound = inbound.clone();
-            std::thread::spawn(move || {
-                accept_loop(listener, Arc::new(admission), tx, paused, shutdown, inbound);
-            })
-        };
-        Ok(Host {
-            pid,
-            local_addr,
-            tx,
-            paused,
-            shutdown,
-            timers,
-            listener: listener_clone,
-            threads,
-            _accept_thread: accept_thread,
-        })
-    }
-
-    fn inject(&self, from: ProcessId, msg: Msg) {
-        let _ = self.tx.send(Event::Deliver { from, msg, counted: false });
-    }
-
-    fn pause(&self) {
-        self.paused.store(true, Ordering::SeqCst);
-        self.timers.clear();
-        let _ = self.tx.send(Event::Pause);
-    }
-
-    fn resume(&self) {
-        let _ = self.tx.send(Event::Resume);
-        self.paused.store(false, Ordering::SeqCst);
-    }
-
-    fn replace(&self, actor: A) {
-        let _ = self.tx.send(Event::Replace(actor));
-    }
-
-    fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.timers.shutdown();
-        let _ = self.tx.send(Event::Shutdown);
-        // Unblock the accept loop: flip the shared socket nonblocking
-        // (future accepts return immediately) and poke it with a
-        // throwaway connection (wakes an already-blocked accept). The
-        // accept thread is deliberately not joined — see its field doc.
-        let _ = self.listener.set_nonblocking(true);
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-/// Accepts inbound connections and spawns a frame-reader per connection.
-#[allow(clippy::too_many_arguments)]
-fn accept_loop<A: Actor<Msg> + Send + 'static>(
-    listener: TcpListener,
-    admission: Arc<Admission>,
-    tx: Sender<Event<A>>,
-    paused: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    inbound: Arc<std::sync::atomic::AtomicUsize>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                let _ = stream.set_nodelay(true);
-                let tx = tx.clone();
-                let admission = admission.clone();
-                let paused = paused.clone();
-                let shutdown = shutdown.clone();
-                let inbound = inbound.clone();
-                // Reader threads are daemons: they exit on EOF, on any
-                // read/decode error, and on pause/shutdown.
-                std::thread::spawn(move || {
-                    reader_loop(stream, admission, tx, paused, shutdown, inbound);
-                });
-            }
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept failures (e.g. fd exhaustion under a
-                // connection flood) must not hot-spin a core.
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
-}
-
-/// Decodes frames off one connection and forwards them as events.
-///
-/// Malformed input — a hostile length prefix, truncated frame, unknown
-/// variant byte, or a message naming an unregistered configuration —
-/// tears down *this connection only*; the node keeps serving everyone
-/// else. Nothing on this path can panic the host.
-#[allow(clippy::too_many_arguments)]
-fn reader_loop<A: Actor<Msg> + Send + 'static>(
-    stream: TcpStream,
-    admission: Arc<Admission>,
-    tx: Sender<Event<A>>,
-    paused: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    inbound: Arc<std::sync::atomic::AtomicUsize>,
-) {
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Some((from, msg))) => {
-                if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
-                    return; // crash window: drop frame, sever connection
-                }
-                // Command/invoke frames are environment-injected, never
-                // protocol traffic: a peer must not be able to drive a
-                // host's client sessions over the network. The trusted
-                // local path is `inject()`.
-                if matches!(msg, Msg::Cmd(_) | Msg::Invoke(_)) {
-                    continue;
-                }
-                // Network-facing dispatch guard: a stale or hostile
-                // configuration id must not reach the actors, whose
-                // internal registry lookups treat unknown ids as
-                // protocol bugs (`try_get` makes the check total), and
-                // a deployment with a declared object universe drops
-                // traffic for fabricated objects before it can create
-                // per-object state.
-                if admission.admits(&msg) {
-                    // Backpressure: stall this connection (and, through
-                    // TCP, its peer) while the event queue is saturated
-                    // instead of letting it grow without bound.
-                    while inbound.load(Ordering::SeqCst) >= INBOUND_HIGH_WATER {
-                        if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                    inbound.fetch_add(1, Ordering::SeqCst);
-                    if tx.send(Event::Deliver { from, msg, counted: true }).is_err() {
-                        inbound.fetch_sub(1, Ordering::SeqCst);
-                        return;
-                    }
-                }
-            }
-            Ok(None) | Err(_) => return,
-        }
-    }
-}
-
-/// The single-threaded actor driver: applies events in arrival order and
-/// maps the drained [`HostEffect`]s onto sockets, timers and the
-/// completion log.
-#[allow(clippy::too_many_arguments)]
-fn event_loop<A: Actor<Msg> + Send + 'static>(
-    pid: ProcessId,
-    mut actor: A,
-    rx: Receiver<Event<A>>,
-    loopback: Sender<Event<A>>,
-    pool: Arc<PeerPool>,
-    timers: Arc<Timers>,
-    epoch: Instant,
-    completions: Option<CompletionSink>,
-    inbound: Arc<std::sync::atomic::AtomicUsize>,
-) {
-    let mut rng = StdRng::seed_from_u64(pid.0 as u64 ^ 0xA1E5_0000);
-    let mut paused = false;
-    while let Ok(ev) = rx.recv() {
-        match ev {
-            Event::Shutdown => return,
-            Event::Pause => paused = true,
-            Event::Resume => paused = false,
-            Event::Replace(a) => actor = a,
-            Event::Deliver { from, msg, counted } => {
-                if counted {
-                    inbound.fetch_sub(1, Ordering::SeqCst);
-                }
-                if paused {
-                    continue;
-                }
-                let now: Time = epoch.elapsed().as_micros() as Time;
-                let mut ctx = Ctx::detached(pid, now, &mut rng);
-                actor.on_message(from, msg, &mut ctx);
-                let effects = ctx.take_effects();
-                apply(pid, effects, &loopback, &pool, &timers, &completions);
-            }
-            Event::Timer { token } => {
-                if paused {
-                    continue;
-                }
-                let now: Time = epoch.elapsed().as_micros() as Time;
-                let mut ctx = Ctx::detached(pid, now, &mut rng);
-                actor.on_timer(token, &mut ctx);
-                let effects = ctx.take_effects();
-                apply(pid, effects, &loopback, &pool, &timers, &completions);
-            }
-        }
-    }
-}
-
-fn apply<A>(
-    pid: ProcessId,
-    effects: Vec<HostEffect<Msg>>,
-    loopback: &Sender<Event<A>>,
-    pool: &PeerPool,
-    timers: &Timers,
-    completions: &Option<CompletionSink>,
-) {
-    // Encode-once/send-many: a quorum broadcast arrives here as a run of
-    // `Send` effects whose messages are clones sharing one payload
-    // allocation (equality between them short-circuits on the shared
-    // `Bytes`), so one wire encode serves every destination — the frame
-    // is an `Arc<[u8]>` the per-peer queues refcount instead of copying.
-    let mut last_frame: Option<(Msg, Arc<[u8]>)> = None;
-    for eff in effects {
-        match eff {
-            HostEffect::Send { to, msg } => {
-                if to == pid {
-                    // Self-sends (e.g. a server forwarding a coded
-                    // element to itself) short-circuit the socket.
-                    let _ = loopback.send(Event::Deliver { from: pid, msg, counted: false });
-                    continue;
-                }
-                let frame = match &last_frame {
-                    Some((m, f)) if *m == msg => f.clone(),
-                    _ => match codec::try_encode_frame(pid, &msg) {
-                        Ok(f) => {
-                            let f: Arc<[u8]> = f.into();
-                            last_frame = Some((msg, f.clone()));
-                            f
-                        }
-                        // An over-limit frame (e.g. a TreasList reply
-                        // whose δ+1 coded elements together exceed
-                        // MAX_FRAME_LEN) is dropped: every receiver
-                        // would reject it anyway, and a long-running
-                        // host must not die over one reply. Quorum
-                        // logic treats it as a lost message.
-                        Err(_) => continue,
-                    },
-                };
-                pool.send(to, frame);
-            }
-            HostEffect::SetTimer { delay, token } => {
-                timers.arm(Instant::now() + Duration::from_micros(delay), token);
-            }
-            HostEffect::Complete(c) => {
-                if let Some(sink) = completions {
-                    sink(c);
-                }
-            }
-            HostEffect::Note(_) => {}
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Public runtimes
-// ---------------------------------------------------------------------
-
-/// A live ARES server node: a [`ServerActor`] behind a TCP listener.
-pub struct NodeRuntime {
-    host: Host<ServerActor>,
-}
-
-impl NodeRuntime {
-    /// Starts a node, binding the listener to this process's address in
-    /// `book`. Completion timestamps use the process-wide epoch, so
-    /// hosts started this way within one OS process stay mutually
-    /// comparable.
+impl ShardedNode {
+    /// Starts a single-sharded node, binding the listener to this
+    /// process's address in `book`. Completion timestamps use the
+    /// process-wide epoch, so hosts started this way within one OS
+    /// process stay mutually comparable.
     pub fn start(
         me: ProcessId,
         registry: Arc<ConfigRegistry>,
@@ -771,8 +147,9 @@ impl NodeRuntime {
         Self::serve(me, registry, book, TcpListener::bind(addr)?, process_epoch(), None)
     }
 
-    /// Starts a node on an already-bound listener (lets a deployment
-    /// bind every port first and share a completion-timestamp `epoch`).
+    /// Starts a single-sharded node on an already-bound listener (lets a
+    /// deployment bind every port first and share a completion-timestamp
+    /// `epoch`).
     ///
     /// `objects` declares the object universe this deployment serves;
     /// when given, listener traffic for any other object is dropped
@@ -787,11 +164,42 @@ impl NodeRuntime {
         epoch: Instant,
         objects: Option<&[ObjectId]>,
     ) -> io::Result<Self> {
-        let actor = ServerActor::new(me, registry.clone());
-        let admission =
-            Admission { registry, objects: objects.map(|o| o.iter().copied().collect()) };
-        let host = Host::start(me, actor, admission, book, listener, epoch, None)?;
-        Ok(NodeRuntime { host })
+        Self::serve_sharded(me, registry, book, listener, epoch, objects, 1)
+    }
+
+    /// Starts a node partitioned over `shards` event-loop shards (see
+    /// the type docs for the routing rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn serve_sharded(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        book: Arc<AddrBook>,
+        listener: TcpListener,
+        epoch: Instant,
+        objects: Option<&[ObjectId]>,
+        shards: usize,
+    ) -> io::Result<Self> {
+        assert!(shards >= 1, "a node runs at least one shard");
+        let actors =
+            (0..shards).map(|_| ServerActor::new(me, registry.clone())).collect::<Vec<_>>();
+        let admission = Admission {
+            registry: registry.clone(),
+            objects: objects.map(|o| o.iter().copied().collect()),
+        };
+        let host = ShardedHost::start(
+            me,
+            actors,
+            codec::shard_route,
+            admission,
+            book,
+            listener,
+            epoch,
+            None,
+        )?;
+        Ok(ShardedNode { host, registry })
     }
 
     /// This node's process id.
@@ -804,30 +212,50 @@ impl NodeRuntime {
         self.host.local_addr
     }
 
+    /// Number of shards this node runs.
+    pub fn shard_count(&self) -> usize {
+        self.host.shard_count()
+    }
+
+    /// Snapshot of the node's runtime counters: per-shard routing/apply
+    /// counts and inbox high-water marks, plus the outbound writer's
+    /// batch/flush/eviction totals.
+    pub fn stats(&self) -> NodeStats {
+        self.host.stats()
+    }
+
     /// Injects a message as if delivered from `from` (environment
-    /// commands such as repair triggers).
+    /// commands such as repair triggers), routed to the shard the
+    /// message's object lives on.
     pub fn inject(&self, from: ProcessId, msg: Msg) {
         self.host.inject(from, msg);
     }
 
     /// Crash-stops the node: every received frame and pending timer is
-    /// dropped, and inbound connections are severed, until
-    /// [`NodeRuntime::resume`]. State is retained (crash with stable
-    /// storage).
+    /// dropped on every shard, and inbound connections are severed,
+    /// until [`ShardedNode::resume`]. State is retained (crash with
+    /// stable storage).
     pub fn pause(&self) {
         self.host.pause();
     }
 
-    /// Ends a [`NodeRuntime::pause`] window; the retained state rejoins.
+    /// Ends a [`ShardedNode::pause`] window; the retained state rejoins.
     pub fn resume(&self) {
         self.host.resume();
     }
 
-    /// Replaces the hosted actor with a blank one (a restart that lost
-    /// its state); combine with a `RepairMsg::Trigger` injection to
-    /// rebuild coded elements from live peers.
-    pub fn replace(&self, actor: ServerActor) {
-        self.host.replace(actor);
+    /// Replaces the hosted server state with a blank restart (a crash
+    /// that lost its disk): every shard gets a fresh blank
+    /// [`ServerActor`]. Combine with a `RepairMsg::Trigger` injection
+    /// to rebuild coded elements from live peers. (The pre-shard
+    /// runtime took an actor argument here; with S shards a single
+    /// caller-built actor cannot represent a node's state, and the only
+    /// restart the crash model needs is the blank one.)
+    pub fn replace_blank(&self) {
+        let actors = (0..self.host.shard_count())
+            .map(|_| ServerActor::new(self.host.pid, self.registry.clone()))
+            .collect();
+        self.host.replace_all(actors);
     }
 
     /// Stops all threads and closes the listener.
@@ -893,7 +321,7 @@ struct StoreInner {
     epoch: Instant,
     /// `None` once shut down; submissions then fail with
     /// [`OpError::Closed`].
-    host: Mutex<Option<Host<ClientActor>>>,
+    host: Mutex<Option<ShardedHost<ClientActor>>>,
     shared: Arc<RouteShared>,
     next_session: AtomicU32,
     op_timeout: Mutex<Duration>,
@@ -915,7 +343,7 @@ pub struct NetStore {
 impl NetStore {
     /// Connects a store to a deployment, binding its reply listener to
     /// its address in `book`. Completion timestamps use the
-    /// process-wide epoch (see [`NodeRuntime::start`]).
+    /// process-wide epoch (see [`ShardedNode::start`]).
     ///
     /// # Errors
     ///
@@ -957,7 +385,20 @@ impl NetStore {
             let shared = shared.clone();
             Box::new(move |c| shared.route(c))
         };
-        let host = Host::start(me, actor, admission, book, listener, epoch, Some(sink))?;
+        // Client hosts are single-sharded: one multiplexer actor, one
+        // loop — the session lanes and completion routing live inside
+        // the actor, which core-parallelizes by adding *stores*, not
+        // shards.
+        let host = ShardedHost::start(
+            me,
+            vec![actor],
+            single_shard,
+            admission,
+            book,
+            listener,
+            epoch,
+            Some(sink),
+        )?;
         Ok(NetStore {
             inner: Arc::new(StoreInner {
                 pid: me,
@@ -1198,7 +639,7 @@ pub struct RemoteClient {
 impl RemoteClient {
     /// Connects a client to a deployment, binding its reply listener to
     /// its address in `book`. Completion timestamps use the
-    /// process-wide epoch (see [`NodeRuntime::start`]).
+    /// process-wide epoch (see [`ShardedNode::start`]).
     pub fn start(
         me: ProcessId,
         registry: Arc<ConfigRegistry>,
@@ -1301,123 +742,5 @@ impl RemoteClient {
     /// Stops all threads and closes the reply listener.
     pub fn shutdown(self) {
         self.store.shutdown();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ares_dap::{DapBody, DapMsg, Hdr};
-    use ares_types::{ConfigId, ObjectId, OpId, RpcId, Tag};
-
-    fn write_msg(value: Value) -> Msg {
-        Msg::Dap(DapMsg::new(
-            Hdr {
-                cfg: ConfigId(0),
-                obj: ObjectId(0),
-                rpc: RpcId(1),
-                op: OpId { client: ProcessId(9), seq: 0 },
-            },
-            DapBody::AbdWrite(Tag::new(1, ProcessId(9)), value),
-        ))
-    }
-
-    #[test]
-    fn frame_queue_drops_oldest_beyond_high_water() {
-        let q = FrameQueue::new();
-        let frame =
-            |i: u32| -> Arc<[u8]> { Arc::from(i.to_be_bytes().to_vec().into_boxed_slice()) };
-        for i in 0..(OUTBOUND_HIGH_WATER as u32 + 5) {
-            q.push(frame(i));
-        }
-        assert_eq!(q.len(), OUTBOUND_HIGH_WATER, "queue is bounded");
-        assert_eq!(q.dropped(), 5, "excess frames dropped");
-        // Drop-oldest: the first frame still queued is frame 5.
-        assert_eq!(q.pop().unwrap().as_ref(), &5u32.to_be_bytes());
-        q.close();
-        // Closed queues drain what they hold, then end.
-        for _ in 0..(OUTBOUND_HIGH_WATER - 1) {
-            assert!(q.pop().is_some());
-        }
-        assert!(q.pop().is_none());
-        q.push(frame(0)); // push-after-close is a no-op
-        assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn dead_peer_queue_stays_bounded() {
-        // A book entry pointing at a port nothing listens on: the writer
-        // thread burns reconnect backoffs while the event loop keeps
-        // sending. The per-peer queue must never exceed the high-water
-        // mark no matter how fast frames arrive.
-        let dead = {
-            let l = TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-            // listener dropped: connections now refused
-        };
-        let book = Arc::new(AddrBook::from_entries([(ProcessId(2), dead)]));
-        let pool = PeerPool::new(book);
-        let frame: Arc<[u8]> = Arc::from(vec![0u8; 64].into_boxed_slice());
-        for _ in 0..(3 * OUTBOUND_HIGH_WATER) {
-            pool.send(ProcessId(2), frame.clone());
-        }
-        assert!(
-            pool.queue_len(ProcessId(2)) <= OUTBOUND_HIGH_WATER,
-            "unreachable peer must not accumulate frames past the high-water mark"
-        );
-        assert!(pool.queue_dropped(ProcessId(2)) > 0, "overflow drops, not growth");
-    }
-
-    #[test]
-    fn quorum_broadcast_encodes_exactly_once() {
-        // Five Send effects carrying clones of one 1 MiB write (what a
-        // DapCall broadcast emits) must serialize once: the per-peer
-        // queues then share the single encoded frame by refcount.
-        let me = ProcessId(9);
-        let value = Value::filler(1 << 20, 7);
-        let effects: Vec<HostEffect<Msg>> = (1..=5u32)
-            .map(|s| HostEffect::Send { to: ProcessId(s), msg: write_msg(value.clone()) })
-            .collect();
-        let (tx, _rx) = mpsc::channel::<Event<ServerActor>>();
-        let pool = PeerPool::new(Arc::new(AddrBook::new()));
-        let timers = Timers::new();
-        let before = codec::frames_encoded();
-        apply(me, effects, &tx, &pool, &timers, &None);
-        assert_eq!(
-            codec::frames_encoded() - before,
-            1,
-            "a 5-target quorum broadcast must perform exactly one wire encode"
-        );
-
-        // Distinct payloads (a TREAS fragment fan-out) still encode
-        // per destination — the cache keys on message equality.
-        let effects: Vec<HostEffect<Msg>> = (1..=5u32)
-            .map(|s| HostEffect::Send {
-                to: ProcessId(s),
-                msg: write_msg(Value::filler(64, s as u64)),
-            })
-            .collect();
-        let before = codec::frames_encoded();
-        apply(me, effects, &tx, &pool, &timers, &None);
-        assert_eq!(codec::frames_encoded() - before, 5);
-    }
-
-    #[test]
-    fn broadcast_performs_zero_deep_value_copies() {
-        // The message clones a broadcast fans out must all view the one
-        // value allocation; the only copy on the wire path is the single
-        // frame encode (pinned above).
-        let value = Value::filler(1 << 20, 3);
-        let msgs: Vec<Msg> = (0..5).map(|_| write_msg(value.clone())).collect();
-        for m in &msgs {
-            let Msg::Dap(d) = m else { unreachable!() };
-            let DapBody::AbdWrite(_, v) = &d.body else { unreachable!() };
-            assert!(
-                bytes::Bytes::shares_allocation(value.bytes(), v.bytes()),
-                "broadcast clone must share the value allocation"
-            );
-        }
-        // 1 original + 5 clones, zero new allocations.
-        assert_eq!(value.bytes().ref_count(), 6);
     }
 }

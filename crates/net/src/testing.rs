@@ -1,14 +1,17 @@
 //! In-process loopback deployments for integration tests and benches.
 //!
 //! [`LocalCluster`] boots every server of a configuration universe as a
-//! real [`NodeRuntime`] on an ephemeral `127.0.0.1` port, wires the
-//! address book, and hands out [`RemoteClient`]s — all inside one test
-//! process, so `cargo test` can exercise the full TCP stack (codec,
-//! listeners, reconnects, timers) without any external orchestration.
-//! Nodes can be killed and restarted mid-run to exercise fault paths.
+//! real [`NodeRuntime`] on an ephemeral `127.0.0.1` port (optionally
+//! partitioned over multiple event-loop shards via
+//! [`ClusterBuilder::shards`]), wires the address book, and hands out
+//! [`RemoteClient`]s — all inside one test process, so `cargo test` can
+//! exercise the full TCP stack (codec, listeners, reconnects, timers)
+//! without any external orchestration. Nodes can be killed and
+//! restarted mid-run to exercise fault paths, and their runtime
+//! counters snapshot via [`LocalCluster::node_stats`].
 
 use crate::runtime::{AddrBook, NodeRuntime, RemoteClient, ENV};
-use ares_core::{ClientConfig, Msg, RepairMsg, ServerActor};
+use ares_core::{ClientConfig, Msg, RepairMsg};
 use ares_types::{ConfigId, ConfigRegistry, Configuration, ObjectId, ProcessId};
 use std::collections::{BTreeSet, HashMap};
 use std::io;
@@ -23,6 +26,7 @@ pub struct ClusterBuilder {
     objects: Vec<ObjectId>,
     direct_transfer: bool,
     backoff_unit: Option<ares_types::Time>,
+    shards: usize,
 }
 
 impl ClusterBuilder {
@@ -40,7 +44,23 @@ impl ClusterBuilder {
             objects: vec![ObjectId(0)],
             direct_transfer: false,
             backoff_unit: None,
+            shards: 1,
         }
+    }
+
+    /// Partitions every server node over `shards` event-loop shards
+    /// (object-scoped traffic by object hash, config-wide traffic on
+    /// shard 0 — see `ares_core::shard`). Default 1, the seed's
+    /// single-loop host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a node runs at least one shard");
+        self.shards = shards;
+        self
     }
 
     /// Adds client processes.
@@ -101,13 +121,14 @@ impl ClusterBuilder {
             let l = listeners.remove(&pid).expect("bound above");
             nodes.insert(
                 pid,
-                NodeRuntime::serve(
+                NodeRuntime::serve_sharded(
                     pid,
                     registry.clone(),
                     book.clone(),
                     l,
                     epoch,
                     Some(&self.objects),
+                    self.shards,
                 )?,
             );
         }
@@ -189,6 +210,21 @@ impl LocalCluster {
         v
     }
 
+    /// Number of shards each server node runs.
+    pub fn shard_count(&self, pid: u32) -> usize {
+        self.nodes.get(&ProcessId(pid)).expect("server pid").shard_count()
+    }
+
+    /// Snapshot of server `pid`'s runtime counters (per-shard routing
+    /// and apply counts, outbound batching/eviction totals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn node_stats(&self, pid: u32) -> crate::NodeStats {
+        self.nodes.get(&ProcessId(pid)).expect("server pid").stats()
+    }
+
     /// The listener address of server `pid` (e.g. to aim raw hostile
     /// bytes at it in tests).
     ///
@@ -227,7 +263,7 @@ impl LocalCluster {
     /// Panics if `pid` is not a server of this cluster.
     pub fn restart_blank(&self, pid: u32) {
         let node = self.nodes.get(&ProcessId(pid)).expect("server pid");
-        node.replace(ServerActor::new(ProcessId(pid), self.registry.clone()));
+        node.replace_blank();
         node.resume();
     }
 

@@ -371,6 +371,11 @@ impl ConfigSeq {
         }
     }
 
+    /// Whether `cfg` appears anywhere in the sequence.
+    pub fn contains(&self, cfg: ConfigId) -> bool {
+        self.entries.iter().any(|e| e.cfg == cfg)
+    }
+
     /// Marks the last entry finalized (the `finalize-config` step).
     pub fn finalize_last(&mut self) {
         self.entries.last_mut().expect("non-empty").status = Status::Finalized;

@@ -1,0 +1,110 @@
+//! Property tests of shard-routing correctness: ANY K-session ×
+//! M-object schedule over a sharded `LocalCluster` (S ∈ {1, 2, 4})
+//! yields atomic, per-session well-formed histories whose outcome shape
+//! is exactly the schedule's — i.e. identical to what the S=1 run of
+//! the same schedule produces (a 1-shard run completes precisely the
+//! submitted operations, per session, in order, with the submitted
+//! kinds/objects/write-digests; sharding may change timing only).
+
+use ares_core::store::{session_of_op, OpTicket, Store, StoreSession};
+use ares_harness::check_atomicity;
+use ares_net::testing::LocalCluster;
+use ares_types::{ConfigId, Configuration, ObjectId, OpCompletion, OpKind, ProcessId, Value};
+use proptest::prelude::*;
+
+fn treas53() -> Vec<Configuration> {
+    vec![Configuration::treas(ConfigId(0), (1..=5).map(ProcessId).collect(), 3, 2)]
+}
+
+/// One session's command list: `(is_write, object)` pairs.
+type Schedule = Vec<Vec<(bool, u32)>>;
+
+const OBJECTS: u32 = 5;
+
+fn schedules(max_sessions: usize, max_ops: usize) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), 0u32..OBJECTS), 1..max_ops),
+        1..max_sessions,
+    )
+}
+
+fn value_for(salt: u64, session: usize, n: usize) -> Value {
+    Value::filler(64, salt ^ (((session as u64 + 1) << 24) | (n as u64 + 1)))
+}
+
+proptest! {
+    // Each case boots a real loopback cluster per shard count: keep the
+    // count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The sharded runtime is outcome-equivalent to the single-loop
+    /// host on arbitrary pipelined schedules.
+    #[test]
+    fn any_schedule_over_sharded_cluster_is_well_formed_and_atomic(
+        schedule in schedules(4, 5),
+        shards_choice in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let shards = [1usize, 2, 4][shards_choice];
+        let cluster = LocalCluster::builder(treas53())
+            .clients([100])
+            .objects(0..OBJECTS)
+            .shards(shards)
+            .start()
+            .expect("cluster boots");
+        let salt = seed ^ 0xD15C;
+        let store = cluster.store(100);
+
+        // Submit every session's stream fully pipelined.
+        let mut tickets = Vec::new();
+        let mut session_ids = Vec::new();
+        for (i, ops) in schedule.iter().enumerate() {
+            let mut session = store.open_session();
+            session_ids.push(session.id());
+            for (n, &(is_write, obj)) in ops.iter().enumerate() {
+                let t = if is_write {
+                    session.write(ObjectId(obj), value_for(salt, i, n)).expect("submit")
+                } else {
+                    session.read(ObjectId(obj)).expect("submit")
+                };
+                tickets.push((i, t));
+            }
+        }
+        let mut per_session: Vec<Vec<OpCompletion>> = vec![Vec::new(); schedule.len()];
+        for (i, t) in tickets {
+            let c = t.wait().expect("op completes");
+            prop_assert_eq!(session_of_op(c.op), session_ids[i], "routed to its session");
+            per_session[i].push(c);
+        }
+        cluster.shutdown();
+
+        // Outcome shape = the schedule's (⇒ identical to the S=1 run).
+        let mut history = Vec::new();
+        for (i, (mine, ops)) in per_session.iter_mut().zip(&schedule).enumerate() {
+            mine.sort_by_key(|c| c.op.seq);
+            prop_assert_eq!(mine.len(), ops.len(), "every submitted op completed");
+            for (n, (c, &(is_write, obj))) in mine.iter().zip(ops).enumerate() {
+                prop_assert_eq!(c.obj, ObjectId(obj), "S={}: object preserved", shards);
+                if is_write {
+                    prop_assert_eq!(c.kind, OpKind::Write);
+                    prop_assert_eq!(
+                        c.value_digest,
+                        Some(value_for(salt, i, n).digest()),
+                        "S={}: cross-delivered or corrupted write", shards
+                    );
+                } else {
+                    prop_assert_eq!(c.kind, OpKind::Read);
+                }
+            }
+            for pair in mine.windows(2) {
+                prop_assert!(
+                    pair[0].completed_at <= pair[1].invoked_at,
+                    "S={}: session {} ops overlap", shards, i
+                );
+            }
+            history.extend(mine.iter().cloned());
+        }
+        let report = check_atomicity(&history);
+        prop_assert!(report.is_atomic(), "S={}: violations: {:?}", shards, report.violations);
+    }
+}

@@ -48,6 +48,53 @@ fn rival_reconfigurers_all_terminate() {
 }
 
 #[test]
+fn rival_reconfigurers_racing_for_the_same_target_terminate() {
+    // Two reconfigurers race for the SAME successor configuration, at
+    // offsets swept so some executions have the loser discover a chain
+    // that already contains the target. The loser must adopt the
+    // installed chain rather than re-propose the target on the chain
+    // end's own consensus object: that wrote `nextC(c1) = c1`, a
+    // self-loop which every later `read-config` walk re-absorbed and
+    // re-propagated forever — a permanent livelock of the discovery
+    // service (found as a ~200k msg/s Cfg storm by the live-cluster
+    // reconfiguration-storm test in tests/sharded_node.rs). On
+    // regression this test fails via the world's event budget.
+    for seed in 0..8u64 {
+        let offset = 50 + (seed * 997) % 6_000;
+        let mut s = Scenario::new(chain_universe(1)).clients([100, 200, 201]).seed(seed);
+        s = s.write_at(0, 100, 0, Value::filler(60, 1 + seed));
+        s = s.recon_at(50, 200, 1);
+        s = s.recon_at(offset, 201, 1);
+        s = s.read_at(40_000, 100, 0);
+        let res = s.run();
+        let h = res.assert_complete_and_atomic();
+        for c in h.iter().filter(|c| c.kind == OpKind::Recon) {
+            assert_eq!(c.installed, Some(ConfigId(1)), "seed {seed}: rivals both install c1");
+        }
+    }
+}
+
+#[test]
+fn reconfig_to_the_current_configuration_is_a_noop() {
+    // reconfig(c) where c is already the chain end — including the
+    // degenerate reconfig(c0) on a fresh chain — must complete (a
+    // no-op) instead of proposing c as its own successor (the nextC
+    // self-loop) or indexing before the genesis entry in finalize.
+    let res = Scenario::new(chain_universe(2))
+        .clients([100, 200])
+        .seed(9)
+        .write_at(0, 100, 0, Value::filler(40, 1))
+        .recon_at(100, 200, 0) // target = genesis, chain = [c0]
+        .recon_at(4_000, 200, 1)
+        .recon_at(20_000, 200, 1) // target already installed as chain end
+        .read_at(40_000, 100, 0)
+        .run();
+    let h = res.assert_complete_and_atomic();
+    let installed: Vec<_> = h.iter().filter_map(|c| c.installed).collect();
+    assert_eq!(installed, vec![ConfigId(0), ConfigId(1), ConfigId(1)]);
+}
+
+#[test]
 fn writes_catch_up_with_chain() {
     // A write begins while reconfigurers extend the chain; Alg. 7's
     // put-data / read-config loop must chase the sequence to its end.
