@@ -125,6 +125,15 @@ mod simd {
     //! kernel (ISA-L and friends): per 128-bit lane, shuffle the two
     //! 16-entry nibble tables by the source's nibbles and XOR.
 
+    /// `dst[j] ^= c·src[j]` over 16-byte SSSE3 lanes.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified SSSE3 support (e.g. via
+    /// `is_x86_feature_detected!("ssse3")`) before calling. All memory
+    /// access is through unaligned loads/stores within `dst`/`src`
+    /// bounds (`i + 16 <= n <= len`), so any equal-length slices are
+    /// otherwise fine; `debug_assert` guards the length contract.
     #[target_feature(enable = "ssse3")]
     pub unsafe fn mul_add_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
         use core::arch::x86_64::*;
@@ -146,6 +155,15 @@ mod simd {
         tail(&mut dst[n..], &src[n..], lo, hi);
     }
 
+    /// `dst[j] ^= c·src[j]` over 32-byte AVX2 lanes.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support (e.g. via
+    /// `is_x86_feature_detected!("avx2")`) before calling. All memory
+    /// access is through unaligned loads/stores within `dst`/`src`
+    /// bounds (`i + 32 <= n <= len`), so any equal-length slices are
+    /// otherwise fine; `debug_assert` guards the length contract.
     #[target_feature(enable = "avx2")]
     pub unsafe fn mul_add_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
         use core::arch::x86_64::*;

@@ -257,6 +257,7 @@ impl ReadConfigFrame {
                 let base = env.cfg(self.seq.get(self.cur).cfg);
                 FStep::push(Frame::ReadNext(ReadNextFrame::new(base)))
             }
+            // lint: allow(net-panic, reason = "internal invariant: child frames are pushed by this frame, so their results are of known shape; hostile bytes cannot forge a child result")
             other => unreachable!("read-config got unexpected child result {other:?}"),
         }
     }
@@ -285,6 +286,7 @@ impl DapFrame {
         // default unit of 50 reproduces DapCtx's sim-tuned 200 exactly.
         let mut ctx = DapCtx::new(self.cfg.clone(), self.obj, env.me, env.op);
         ctx.retry_interval = env.backoff_unit * 4;
+        // lint: allow(net-panic, reason = "infallible: start() runs once per frame by the frame-stack discipline; action is present until then")
         let action = self.action.take().expect("started once");
         let (call, step) = DapCall::start(ctx, action, env.rpc);
         self.call = Some(call);
@@ -508,6 +510,7 @@ impl WriteFrame {
                     self.put_last(env)
                 }
             }
+            // lint: allow(net-panic, reason = "internal invariant: child frames are pushed by this frame, so their results are of known shape; hostile bytes cannot forge a child result")
             (_, other) => unreachable!("write got unexpected child result {other:?}"),
         }
     }
@@ -571,6 +574,7 @@ impl ReadFrame {
                     self.put_last(env)
                 }
             }
+            // lint: allow(net-panic, reason = "internal invariant: child frames are pushed by this frame, so their results are of known shape; hostile bytes cannot forge a child result")
             (_, other) => unreachable!("read got unexpected child result {other:?}"),
         }
     }
@@ -698,12 +702,14 @@ impl ReconFrame {
                             self.best_src = (*t, self.seq.get(self.i).cfg);
                         }
                     }
+                    // lint: allow(net-panic, reason = "internal invariant: child frames are pushed by this frame, so their results are of known shape; hostile bytes cannot forge a child result")
                     _ => unreachable!("update-config DAP result mismatch"),
                 }
                 self.i += 1;
                 if self.i <= self.seq.nu() {
                     self.query(env)
                 } else {
+                    // lint: allow(net-panic, reason = "in-bounds: obj_idx starts at 0 and objs is non-empty for any reconfig that reaches this frame")
                     let obj = self.objs[self.obj_idx];
                     match env.mode {
                         TransferMode::Plain => {
@@ -738,6 +744,7 @@ impl ReconFrame {
             (ReconPhase::FinalizePut, FrameOut::Ack) => {
                 FStep::out(FrameOut::ReconDone(self.decided, self.seq.clone()))
             }
+            // lint: allow(net-panic, reason = "internal invariant: child frames are pushed by this frame, so their results are of known shape; hostile bytes cannot forge a child result")
             (_, other) => unreachable!("reconfig got unexpected child result {other:?}"),
         }
     }
@@ -762,6 +769,7 @@ impl ReconFrame {
 
     fn query(&mut self, env: &mut Env<'_>) -> FStep {
         let cfg = env.cfg(self.seq.get(self.i).cfg);
+        // lint: allow(net-panic, reason = "in-bounds: obj_idx only advances after a bounds-checked compare against objs.len()")
         let obj = self.objs[self.obj_idx];
         let action = match env.mode {
             TransferMode::Plain => DapAction::GetData,
@@ -850,6 +858,7 @@ impl Frame {
             Frame::Read(f) => f.on_child(out, env),
             Frame::Recon(f) => f.on_child(out, env),
             Frame::ReadConfig(f) => f.on_child(out, env),
+            // lint: allow(net-panic, reason = "internal invariant: on_child is routed only to composite frames by the dispatcher above")
             _ => unreachable!("leaf frames have no children"),
         }
     }

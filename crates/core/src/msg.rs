@@ -203,6 +203,26 @@ pub enum Msg {
     Invoke(Invoke),
 }
 
+impl Msg {
+    /// Whether a frame carrying this message may be accepted from a
+    /// network peer.
+    ///
+    /// Protocol families (DAP, consensus, configuration service, state
+    /// transfer, repair) are network traffic; command envelopes
+    /// ([`Msg::Cmd`], [`Msg::Invoke`]) are environment-injected only —
+    /// accepting them from the wire would let any peer invoke client
+    /// operations. This is the single network-admission surface: every
+    /// variant must be classified here explicitly (enforced by
+    /// `ares-lint`'s `msg-surface` rule), so a future variant cannot
+    /// default into admission.
+    pub fn network_admissible(&self) -> bool {
+        match self {
+            Msg::Dap(_) | Msg::Con(_) | Msg::Cfg(_) | Msg::Xfer(_) | Msg::Repair(_) => true,
+            Msg::Cmd(_) | Msg::Invoke(_) => false,
+        }
+    }
+}
+
 impl SimMessage for Msg {
     fn payload_bytes(&self) -> u64 {
         match self {

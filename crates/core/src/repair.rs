@@ -172,9 +172,16 @@ impl RepairTask {
             }
         }
         let params = self.cfg.code_params();
-        let code = build_code(params).expect("valid configuration code");
-        let my_index =
-            self.cfg.server_index(me).expect("repairer is a member of the configuration");
+        // Registry-vetted configurations always build valid codes and
+        // contain the repairer; if either invariant ever breaks, report
+        // every tag unrepaired (the periodic trigger retries) instead of
+        // dying inside a handler fed by network replies.
+        let (Ok(code), Some(my_index)) = (build_code(params), self.cfg.server_index(me)) else {
+            let mut entries: Vec<(Tag, Option<Fragment>)> =
+                per_tag.into_keys().map(|t| (t, None)).collect();
+            entries.sort_by_key(|(t, _)| *t);
+            return RepairProgress::Done { entries };
+        };
         let mut entries: Vec<(Tag, Option<Fragment>)> = Vec::new();
         for (tag, frags) in per_tag {
             if frags.len() >= params.k {

@@ -310,19 +310,24 @@ impl ServerActor {
                         d.push(frag);
                     }
                     // isDecodable(D, t)? — tested per value_len group.
-                    let d = &self.dset[&(dst, obj, tag)];
                     let group: Vec<Fragment> =
                         d.iter().filter(|f| f.value_len == frag_value_len).cloned().collect();
                     if group.len() >= src_params.k {
-                        let decoder = build_code(src_params).expect("valid source code");
-                        if let Ok(value) = decoder.decode(&group) {
-                            // Re-encode with the destination code and
-                            // store own element; D keeps the tag only.
-                            self.dset.remove(&(dst, obj, tag));
-                            let enc =
-                                build_code(dst_cfg.code_params()).expect("valid destination code");
-                            let my_elem = enc.encode_fragment(&value, my_index);
-                            self.dap.treas_state(dst, obj).insert_and_gc(tag, my_elem, delta);
+                        // Registry-vetted parameters always build valid
+                        // codes; if that invariant ever breaks, dropping
+                        // this transfer is recoverable (retried forwards
+                        // re-accumulate the D-set) — dying on a frame
+                        // that named the config is not.
+                        if let (Ok(decoder), Ok(enc)) =
+                            (build_code(src_params), build_code(dst_cfg.code_params()))
+                        {
+                            if let Ok(value) = decoder.decode(&group) {
+                                // Re-encode with the destination code and
+                                // store own element; D keeps the tag only.
+                                self.dset.remove(&(dst, obj, tag));
+                                let my_elem = enc.encode_fragment(&value, my_index);
+                                self.dap.treas_state(dst, obj).insert_and_gc(tag, my_elem, delta);
+                            }
                         }
                     }
                 }
@@ -360,6 +365,7 @@ impl ServerActor {
                 vec![(from, Msg::Repair(RepairMsg::Lists { cfg, obj, rpc, list, op }))]
             }
             lists @ RepairMsg::Lists { .. } => {
+                // lint: allow(net-panic, reason = "unreachable by the `lists @ RepairMsg::Lists` arm binding one line above")
                 let RepairMsg::Lists { cfg, obj, .. } = &lists else { unreachable!() };
                 let key = (*cfg, *obj);
                 let Some(task) = self.repairs.get_mut(&key) else {

@@ -1,0 +1,141 @@
+//! `ares-lint` — workspace-native static analysis for the ARES runtime.
+//!
+//! Four analyses, all lexical (hand-rolled lexer + item scanner; no
+//! crates.io in this environment, so no syn/dylint), each protecting a
+//! distributed-systems invariant the type system cannot see:
+//!
+//! | rule            | invariant                                               |
+//! |-----------------|---------------------------------------------------------|
+//! | `msg-surface`   | every `Msg` variant classified on every parallel surface |
+//! | `net-panic`     | hostile bytes cannot panic the process                  |
+//! | `loop-blocking` | shard event loops never block                           |
+//! | `unsafe-safety` | every `unsafe` region carries a safety argument         |
+//! | `drift`         | no `todo!`/`unimplemented!`/`dbg!` in production code   |
+//!
+//! Audited exceptions use `// lint: allow(<rule>, reason = "...")` on
+//! the offending line or the line above; malformed annotations are
+//! themselves findings (`bad-allow`). See DESIGN.md §10 for the
+//! invariant catalogue.
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use findings::{Allows, Finding};
+use rules::msg_surface::{Locator, Surface, SurfaceSpec};
+use scan::SourceFile;
+use std::collections::HashMap;
+
+/// Files on the hostile-input path: wire decode plus every actor
+/// handler reachable from network bytes (`net-panic` scope).
+pub const PANIC_SCOPE: &[&str] = &[
+    "crates/net/src/codec.rs",
+    "crates/net/src/host.rs",
+    "crates/net/src/runtime.rs",
+    "crates/net/src/testing.rs",
+    "crates/core/src/server.rs",
+    "crates/core/src/client.rs",
+    "crates/core/src/frames.rs",
+    "crates/core/src/shard.rs",
+    "crates/core/src/repair.rs",
+    "crates/dap/src/server.rs",
+    "crates/dap/src/client.rs",
+    "crates/consensus/src/acceptor.rs",
+    "crates/consensus/src/proposer.rs",
+];
+
+/// The file holding the shard event loops (`loop-blocking` scope).
+pub const EVENT_LOOP_FILE: &str = "crates/net/src/host.rs";
+
+/// The event-loop function bodies checked by `loop-blocking`.
+pub const EVENT_LOOP_FNS: &[&str] = &["event_loop", "apply"];
+
+/// The canonical `msg-surface` specification for this workspace: the
+/// `Msg` enum and its six parallel classification surfaces.
+pub fn canonical_surface_spec() -> SurfaceSpec {
+    let s = |file: &str, locator: Locator, what: &str| Surface {
+        file: file.into(),
+        locator,
+        what: what.into(),
+    };
+    SurfaceSpec {
+        enum_file: "crates/core/src/msg.rs".into(),
+        enum_name: "Msg".into(),
+        surfaces: vec![
+            s(
+                "crates/net/src/codec.rs",
+                Locator::Impl("WireEncode".into(), "Msg".into()),
+                "wire codec encode",
+            ),
+            s(
+                "crates/net/src/codec.rs",
+                Locator::Impl("WireDecode".into(), "Msg".into()),
+                "wire codec decode",
+            ),
+            s(
+                "crates/net/src/codec.rs",
+                Locator::Fn("referenced_object".into()),
+                "listener object admission (`referenced_object`)",
+            ),
+            s(
+                "crates/net/src/codec.rs",
+                Locator::Fn("referenced_configs".into()),
+                "listener config admission (`referenced_configs`)",
+            ),
+            s(
+                "crates/core/src/shard.rs",
+                Locator::Fn("route".into()),
+                "shard routing (`shard::route`)",
+            ),
+            s(
+                "crates/core/src/msg.rs",
+                Locator::Fn("network_admissible".into()),
+                "network admission (`Msg::network_admissible`)",
+            ),
+        ],
+        tag_pair: Some((0, 1)),
+    }
+}
+
+/// Runs every enabled rule over `files` and applies per-file allow
+/// annotations. `rule` restricts the run to one rule name (`None` =
+/// all); `bad-allow` findings surface whenever their file is scanned.
+pub fn run(files: &[SourceFile], rule: Option<&str>) -> Vec<Finding> {
+    let enabled = |name: &str| rule.is_none_or(|r| r == name);
+    let by_path: HashMap<String, &SourceFile> = files.iter().map(|f| (f.path.clone(), f)).collect();
+
+    let mut raw = Vec::new();
+    if enabled("msg-surface") {
+        raw.extend(rules::msg_surface::check(&by_path, &canonical_surface_spec()));
+    }
+    for f in files {
+        if enabled("net-panic") && PANIC_SCOPE.contains(&f.path.as_str()) {
+            raw.extend(rules::panic_path::check(f));
+        }
+        if enabled("loop-blocking") && f.path == EVENT_LOOP_FILE {
+            raw.extend(rules::blocking::check(f, EVENT_LOOP_FNS));
+        }
+        if enabled("unsafe-safety") {
+            raw.extend(rules::unsafety::check(f));
+        }
+        if enabled("drift") {
+            raw.extend(rules::drift::check(f));
+        }
+    }
+
+    // Allow-annotation pass: suppress covered findings, surface
+    // malformed annotations.
+    let allows: HashMap<&str, Allows> =
+        files.iter().map(|f| (f.path.as_str(), Allows::collect(f))).collect();
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !allows.get(f.file.as_str()).is_some_and(|a| a.covers(f.rule, f.line)))
+        .collect();
+    if enabled("bad-allow") {
+        out.extend(allows.values().flat_map(|a| a.bad.iter().cloned()));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}

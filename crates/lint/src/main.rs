@@ -1,0 +1,100 @@
+//! CLI for `ares-lint`.
+//!
+//! ```text
+//! cargo run -p ares-lint -- --workspace            # lint the whole tree
+//! cargo run -p ares-lint -- --rule msg-surface     # one rule only
+//! cargo run -p ares-lint -- --root /path/to/repo   # explicit root
+//! cargo run -p ares-lint -- --list                 # list rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on findings, 2 on usage/IO errors —
+//! CI treats any nonzero as a failed gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "ares-lint: static analysis for the ARES workspace\n\
+     \n\
+     USAGE: ares-lint [--workspace] [--root <dir>] [--rule <name>] [--list]\n\
+     \n\
+     --workspace    lint every first-party source file (default)\n\
+     --root <dir>   workspace root (default: this crate's ../..)\n\
+     --rule <name>  run a single rule\n\
+     --list         list rule names and exit\n"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {} // the default (and only) scanning mode
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match args.next() {
+                Some(r) if ares_lint::findings::RULE_NAMES.contains(&r.as_str()) => {
+                    rule = Some(r);
+                }
+                Some(r) => {
+                    eprintln!(
+                        "unknown rule `{r}` — known rules: {}",
+                        ares_lint::findings::RULE_NAMES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--rule needs a name\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => {
+                for r in ares_lint::findings::RULE_NAMES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Root: explicit flag, else the workspace containing this crate
+    // (compile-time manifest dir), else the current directory.
+    let root = root.unwrap_or_else(|| {
+        let manifest: &str = env!("CARGO_MANIFEST_DIR");
+        let p = PathBuf::from(manifest);
+        p.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or_else(|| ".".into())
+    });
+
+    let files = match ares_lint::workspace::collect_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ares-lint: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = ares_lint::run(&files, rule.as_deref());
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("ares-lint: clean — {} files scanned", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("ares-lint: {} finding(s) across {} files scanned", findings.len(), files.len());
+        ExitCode::FAILURE
+    }
+}

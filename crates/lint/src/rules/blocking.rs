@@ -1,0 +1,105 @@
+//! Rule `loop-blocking`: no blocking calls inside shard event-loop
+//! bodies.
+//!
+//! PR 5's sharding argument rests on event loops that never stall: a
+//! shard thread that blocks on I/O, a lock, or a sleep stops draining
+//! its inbound queue and back-pressures every connection routed to it.
+//! This rule flags calls whose names match the blocking vocabulary
+//! inside the named event-loop functions; the loop's own park point
+//! (`rx.recv()`) is an audited `// lint: allow` exception.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Method/function names treated as blocking when called inside an
+/// event-loop body.
+pub const BLOCKING_CALLS: &[&str] = &[
+    "write",
+    "write_all",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "sleep",
+    "join",
+    "lock",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "accept",
+    "connect",
+];
+
+/// Runs the rule over the named event-loop functions of one file.
+pub fn check(file: &SourceFile, loop_fns: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for name in loop_fns {
+        let Some(body) = file.fn_body(name) else {
+            // A renamed/removed loop fn is a spec drift the lint owner
+            // must notice — report it rather than silently passing.
+            out.push(Finding {
+                rule: "loop-blocking",
+                file: file.path.clone(),
+                line: 1,
+                msg: format!("event-loop fn `{name}` not found — update the lint scope"),
+            });
+            continue;
+        };
+        let idx: Vec<usize> =
+            (body.start..body.end).filter(|&i| file.toks[i].kind != TokKind::Comment).collect();
+        for w in 0..idx.len().saturating_sub(1) {
+            let t = &file.toks[idx[w]];
+            if t.kind == TokKind::Ident
+                && BLOCKING_CALLS.contains(&t.text.as_str())
+                && file.toks[idx[w + 1]].is_punct('(')
+            {
+                out.push(Finding {
+                    rule: "loop-blocking",
+                    file: file.path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "blocking call `{}()` inside event-loop `{name}` — a stalled shard \
+                         thread back-pressures every connection routed to it",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_call_in_loop_flagged() {
+        let f = SourceFile::new(
+            "h.rs",
+            "fn event_loop(rx: R) { loop { let m = rx.recv(); sock.write_all(&m); } }\n",
+        );
+        let out = check(&f, &["event_loop"]);
+        assert_eq!(out.len(), 2, "recv + write_all: {out:?}");
+    }
+
+    #[test]
+    fn same_calls_outside_loop_pass() {
+        let f = SourceFile::new(
+            "h.rs",
+            "fn event_loop(rx: R) { loop { dispatch(rx.try_recv()); } }\n\
+             fn reader(s: &mut S) { s.read_exact(&mut buf); }\n",
+        );
+        assert_eq!(check(&f, &["event_loop"]), vec![]);
+    }
+
+    #[test]
+    fn missing_loop_fn_is_a_finding() {
+        let f = SourceFile::new("h.rs", "fn other() {}\n");
+        let out = check(&f, &["event_loop"]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("not found"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Rule `msg-surface`: every `Msg` variant must be classified on every
+//! parallel match surface, and codec encode/decode wire tags must agree.
+//!
+//! The check is *mention-based*: a variant passes a surface when the
+//! token sequence `Msg :: Variant` appears (as code, not comment) inside
+//! the surface's body. This is deliberately robust to both failure
+//! shapes that bit PR 5: deleting an arm removes the mention (finding),
+//! and adding a new enum variant without touching a surface leaves it
+//! unmentioned everywhere (finding per surface) — a `_ =>` wildcard
+//! cannot silently absorb it.
+
+use crate::findings::Finding;
+use crate::scan::SourceFile;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// How to locate a surface's body inside its file.
+#[derive(Debug, Clone)]
+pub enum Locator {
+    /// Body of `fn <name>`.
+    Fn(String),
+    /// Body of `impl <trait> for <type>`.
+    Impl(String, String),
+}
+
+/// One parallel match surface the enum must be classified on.
+#[derive(Debug, Clone)]
+pub struct Surface {
+    /// Workspace-relative file holding the surface.
+    pub file: String,
+    /// Where the surface's body is in that file.
+    pub locator: Locator,
+    /// Human name used in findings ("wire codec decode", ...).
+    pub what: String,
+}
+
+/// The full specification the rule checks: which enum, which surfaces,
+/// and which surface pair carries the encode/decode tag cross-check.
+#[derive(Debug, Clone)]
+pub struct SurfaceSpec {
+    /// File defining the enum.
+    pub enum_file: String,
+    /// The enum's name (`Msg`).
+    pub enum_name: String,
+    /// Every surface that must classify all variants.
+    pub surfaces: Vec<Surface>,
+    /// Indices into `surfaces` of the (encode impl, decode impl) pair
+    /// whose one-byte wire tags must agree per variant.
+    pub tag_pair: Option<(usize, usize)>,
+}
+
+/// Runs the rule over `files` (keyed by workspace-relative path).
+pub fn check(files: &HashMap<String, &SourceFile>, spec: &SurfaceSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(enum_file) = files.get(&spec.enum_file) else {
+        out.push(Finding {
+            rule: "msg-surface",
+            file: spec.enum_file.clone(),
+            line: 1,
+            msg: format!("enum file `{}` not found in scanned set", spec.enum_file),
+        });
+        return out;
+    };
+    let Some(variants) = enum_file.enum_variants(&spec.enum_name) else {
+        out.push(Finding {
+            rule: "msg-surface",
+            file: spec.enum_file.clone(),
+            line: 1,
+            msg: format!("enum `{}` not found in `{}`", spec.enum_name, spec.enum_file),
+        });
+        return out;
+    };
+    if variants.is_empty() {
+        out.push(Finding {
+            rule: "msg-surface",
+            file: spec.enum_file.clone(),
+            line: 1,
+            msg: format!("enum `{}` has no variants to cross-check", spec.enum_name),
+        });
+        return out;
+    }
+
+    // Locate every surface body; a missing surface is itself a finding
+    // (deleting the whole fn must fail the same way as deleting an arm).
+    let mut bodies: Vec<Option<(&SourceFile, Range<usize>)>> = Vec::new();
+    for s in &spec.surfaces {
+        let located = files.get(&s.file).and_then(|f| {
+            let r = match &s.locator {
+                Locator::Fn(name) => f.fn_body(name),
+                Locator::Impl(tr, ty) => f.impl_body(tr, ty),
+            };
+            r.map(|r| (*f, r))
+        });
+        if located.is_none() {
+            out.push(Finding {
+                rule: "msg-surface",
+                file: s.file.clone(),
+                line: 1,
+                msg: format!("surface `{}` not found in `{}`", s.what, s.file),
+            });
+        }
+        bodies.push(located);
+    }
+
+    // Mention check: every variant on every located surface.
+    for (s, body) in spec.surfaces.iter().zip(&bodies) {
+        let Some((f, r)) = body else { continue };
+        for v in &variants {
+            if f.mentions_path(r, &spec.enum_name, v).is_none() {
+                out.push(Finding {
+                    rule: "msg-surface",
+                    file: s.file.clone(),
+                    line: f.range_line(r),
+                    msg: format!(
+                        "`{}::{}` is not classified in {} — every variant must be \
+                         handled explicitly on this surface",
+                        spec.enum_name, v, s.what
+                    ),
+                });
+            }
+        }
+    }
+
+    // Tag cross-check between the encode and decode impls.
+    if let Some((ei, di)) = spec.tag_pair {
+        if let (Some((ef, er)), Some((df, dr))) =
+            (bodies.get(ei).and_then(|b| b.as_ref()), bodies.get(di).and_then(|b| b.as_ref()))
+        {
+            let enc = encode_tags(ef, er, &spec.enum_name);
+            let dec = decode_tags(df, dr, &spec.enum_name);
+            for v in &variants {
+                match (enc.get(v.as_str()), dec.get(v.as_str())) {
+                    (Some(e), Some(d)) if e != d => out.push(Finding {
+                        rule: "msg-surface",
+                        file: spec.surfaces[di].file.clone(),
+                        line: df.range_line(dr),
+                        msg: format!(
+                            "`{}::{}` wire tag mismatch: encoder pushes {e}, decoder \
+                             matches {d}",
+                            spec.enum_name, v
+                        ),
+                    }),
+                    (None, _) => out.push(Finding {
+                        rule: "msg-surface",
+                        file: spec.surfaces[ei].file.clone(),
+                        line: ef.range_line(er),
+                        msg: format!(
+                            "`{}::{}` has no wire tag in {}",
+                            spec.enum_name, v, spec.surfaces[ei].what
+                        ),
+                    }),
+                    (_, None) => out.push(Finding {
+                        rule: "msg-surface",
+                        file: spec.surfaces[di].file.clone(),
+                        line: df.range_line(dr),
+                        msg: format!(
+                            "`{}::{}` has no wire tag in {}",
+                            spec.enum_name, v, spec.surfaces[di].what
+                        ),
+                    }),
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Variant → tag for an encode body: the first `push(<n>)` after each
+/// `Enum::Variant` mention is that variant's wire tag.
+fn encode_tags(f: &SourceFile, r: &Range<usize>, enum_name: &str) -> HashMap<String, u64> {
+    let idx: Vec<usize> = code_in(f, r);
+    let mut tags = HashMap::new();
+    let mut current: Option<String> = None;
+    let mut w = 0usize;
+    while w < idx.len() {
+        let t = &f.toks[idx[w]];
+        if w + 3 < idx.len()
+            && t.is_ident(enum_name)
+            && f.toks[idx[w + 1]].is_punct(':')
+            && f.toks[idx[w + 2]].is_punct(':')
+        {
+            current = Some(f.toks[idx[w + 3]].text.clone());
+            w += 4;
+            continue;
+        }
+        if t.is_ident("push")
+            && w + 2 < idx.len()
+            && f.toks[idx[w + 1]].is_punct('(')
+            && f.toks[idx[w + 2]].kind == crate::lexer::TokKind::Num
+        {
+            if let (Some(v), Ok(n)) = (current.take(), f.toks[idx[w + 2]].text.parse::<u64>()) {
+                tags.entry(v).or_insert(n);
+            }
+        }
+        w += 1;
+    }
+    tags
+}
+
+/// Variant → tag for a decode body: `<n> => Enum::Variant` arms.
+fn decode_tags(f: &SourceFile, r: &Range<usize>, enum_name: &str) -> HashMap<String, u64> {
+    let idx: Vec<usize> = code_in(f, r);
+    let mut tags = HashMap::new();
+    for w in 0..idx.len().saturating_sub(6) {
+        let t = &f.toks[idx[w]];
+        if t.kind == crate::lexer::TokKind::Num
+            && f.toks[idx[w + 1]].is_punct('=')
+            && f.toks[idx[w + 2]].is_punct('>')
+            && f.toks[idx[w + 3]].is_ident(enum_name)
+            && f.toks[idx[w + 4]].is_punct(':')
+            && f.toks[idx[w + 5]].is_punct(':')
+        {
+            if let Ok(n) = t.text.parse::<u64>() {
+                tags.entry(f.toks[idx[w + 6]].text.clone()).or_insert(n);
+            }
+        }
+    }
+    tags
+}
+
+fn code_in(f: &SourceFile, r: &Range<usize>) -> Vec<usize> {
+    (r.start..r.end).filter(|&i| f.toks[i].kind != crate::lexer::TokKind::Comment).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SurfaceSpec {
+        SurfaceSpec {
+            enum_file: "msg.rs".into(),
+            enum_name: "Msg".into(),
+            surfaces: vec![
+                Surface {
+                    file: "codec.rs".into(),
+                    locator: Locator::Impl("WireEncode".into(), "Msg".into()),
+                    what: "wire codec encode".into(),
+                },
+                Surface {
+                    file: "codec.rs".into(),
+                    locator: Locator::Impl("WireDecode".into(), "Msg".into()),
+                    what: "wire codec decode".into(),
+                },
+                Surface {
+                    file: "shard.rs".into(),
+                    locator: Locator::Fn("route".into()),
+                    what: "shard routing".into(),
+                },
+            ],
+            tag_pair: Some((0, 1)),
+        }
+    }
+
+    const MSG: &str = "pub enum Msg { A(u8), B, }\n";
+    const CODEC_OK: &str = "\
+impl WireEncode for Msg {\n\
+    fn encode(&self, out: &mut Vec<u8>) {\n\
+        match self {\n\
+            Msg::A(x) => { out.push(0); out.push(*x); }\n\
+            Msg::B => out.push(1),\n\
+        }\n\
+    }\n\
+}\n\
+impl WireDecode for Msg {\n\
+    fn decode(r: &mut R) -> Result<Msg, E> {\n\
+        Ok(match r.u8()? {\n\
+            0 => Msg::A(r.u8()?),\n\
+            1 => Msg::B,\n\
+            _ => return Err(E),\n\
+        })\n\
+    }\n\
+}\n";
+    const SHARD_OK: &str = "\
+pub fn route(m: &Msg) -> usize {\n\
+    match m { Msg::A(_) => 1, Msg::B => 0 }\n\
+}\n";
+
+    fn run(msg: &str, codec: &str, shard: &str) -> Vec<Finding> {
+        let files = [
+            SourceFile::new("msg.rs", msg),
+            SourceFile::new("codec.rs", codec),
+            SourceFile::new("shard.rs", shard),
+        ];
+        let map: HashMap<String, &SourceFile> = files.iter().map(|f| (f.path.clone(), f)).collect();
+        check(&map, &spec())
+    }
+
+    #[test]
+    fn consistent_surfaces_pass() {
+        assert_eq!(run(MSG, CODEC_OK, SHARD_OK), vec![]);
+    }
+
+    #[test]
+    fn deleted_route_arm_fires() {
+        let shard = "pub fn route(m: &Msg) -> usize { match m { Msg::A(_) => 1, _ => 0 } }\n";
+        let out = run(MSG, CODEC_OK, shard);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("`Msg::B` is not classified in shard routing"));
+    }
+
+    #[test]
+    fn new_variant_fires_on_every_surface() {
+        let msg = "pub enum Msg { A(u8), B, C, }\n";
+        let out = run(msg, CODEC_OK, SHARD_OK);
+        // Unmentioned on all 3 surfaces + missing encode tag.
+        assert!(out.len() >= 4, "got: {out:?}");
+        assert!(out.iter().all(|f| f.msg.contains("Msg::C")));
+    }
+
+    #[test]
+    fn tag_mismatch_fires() {
+        let codec = CODEC_OK.replace("1 => Msg::B", "2 => Msg::B");
+        let out = run(MSG, &codec, SHARD_OK);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert!(out[0].msg.contains("wire tag mismatch: encoder pushes 1, decoder matches 2"));
+    }
+
+    #[test]
+    fn deleted_surface_fn_fires() {
+        let out = run(MSG, CODEC_OK, "pub fn other() {}\n");
+        assert!(out.iter().any(|f| f.msg.contains("surface `shard routing` not found")));
+    }
+}

@@ -1,0 +1,135 @@
+//! Rule `net-panic`: no panic-capable token on hostile-input paths.
+//!
+//! Scope (chosen by [`crate::run`]): the wire decode path and every
+//! actor handler reachable from network bytes. Inside those files —
+//! `#[cfg(test)]` regions excluded — the rule flags `.unwrap()`,
+//! `.expect()`, `panic!`/`todo!`/`unimplemented!`/`unreachable!`, and
+//! slice/array index expressions (`x[i]` panics on out-of-bounds).
+//! Audited exceptions carry `// lint: allow(net-panic, reason = "...")`.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Keywords that can precede `[` without forming an index expression
+/// (`&mut [u8]`, `dyn [..]`-style type positions).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "ref", "in", "as", "where", "return", "break", "else", "match", "if", "impl",
+    "const", "static", "pub", "use", "let", "move", "unsafe", "fn", "for", "while", "loop",
+];
+
+/// Runs the rule over one in-scope file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let code = file.code_indices();
+    let tests = file.cfg_test_ranges();
+    let in_test = |ti: usize| tests.iter().any(|r| r.contains(&ti));
+    let mut out = Vec::new();
+    let mut flag = |line: u32, msg: String| {
+        out.push(Finding { rule: "net-panic", file: file.path.clone(), line, msg });
+    };
+    for (k, &ti) in code.iter().enumerate() {
+        if in_test(ti) {
+            continue;
+        }
+        let t = &file.toks[ti];
+        let prev = k.checked_sub(1).map(|p| &file.toks[code[p]]);
+        let next = code.get(k + 1).map(|&n| &file.toks[n]);
+        match t.kind {
+            TokKind::Ident => {
+                let dotted = prev.is_some_and(|p| p.is_punct('.'));
+                let called = next.is_some_and(|n| n.is_punct('('));
+                let banged = next.is_some_and(|n| n.is_punct('!'));
+                match t.text.as_str() {
+                    "unwrap" | "expect" if dotted && called => flag(
+                        t.line,
+                        format!(
+                            ".{}() on a hostile-input path — handle the error or drop \
+                                 the frame",
+                            t.text
+                        ),
+                    ),
+                    "panic" | "todo" | "unimplemented" | "unreachable" if banged => flag(
+                        t.line,
+                        format!(
+                            "{}! on a hostile-input path — malformed bytes must not \
+                                 abort the process",
+                            t.text
+                        ),
+                    ),
+                    _ => {}
+                }
+            }
+            TokKind::Punct if t.text == "[" => {
+                let indexes = prev.is_some_and(|p| match p.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                    TokKind::Str => true,
+                    TokKind::Punct => p.text == ")" || p.text == "]" || p.text == "?",
+                    _ => false,
+                });
+                if indexes {
+                    flag(
+                        t.line,
+                        "slice/array index on a hostile-input path — use `.get()` or prove \
+                         bounds and annotate"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::new("f.rs", src))
+    }
+
+    #[test]
+    fn unwrap_expect_flagged() {
+        let out = run("fn f() { x.unwrap(); y.expect(\"msg\"); }\n");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn panic_family_flagged() {
+        let out = run("fn f() { panic!(\"x\"); todo!(); unimplemented!(); unreachable!(); }\n");
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn index_expression_flagged() {
+        let out = run("fn f(b: &[u8]) -> u8 { b[0] }\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("index"));
+    }
+
+    #[test]
+    fn slice_types_and_attrs_not_flagged() {
+        let out =
+            run("#[derive(Debug)]\nstruct S;\nfn f(b: &mut [u8], c: &[u8]) -> Vec<[u8; 4]> { \
+             let _ = (b, c); vec![] }\n");
+        assert_eq!(out, vec![]);
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        assert_eq!(run("fn f() { x.unwrap_or_else(|p| p.into_inner()); }\n"), vec![]);
+    }
+
+    #[test]
+    fn test_mod_excluded() {
+        let out = run("#[cfg(test)]\nmod tests { fn f() { x.unwrap(); b[0]; panic!(); } }\n");
+        assert_eq!(out, vec![]);
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_not_flagged() {
+        let out = run("// panic! in a comment\nfn f() { let _ = \"x.unwrap()\"; }\n");
+        assert_eq!(out, vec![]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Workspace file discovery.
+//!
+//! Walks the repository root and loads every first-party `.rs` file.
+//! Out of scope by directory name: `vendor/` (third-party stand-ins we
+//! don't own), `target/`, `.git/`, and test-only trees (`tests/`,
+//! `benches/`, `fixtures/` — including this crate's own trip-fixtures,
+//! which exist to violate the rules).
+
+use crate::scan::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names excluded from the walk.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "tests", "benches", "fixtures"];
+
+/// Loads every in-scope `.rs` file under `root`, with paths relative to
+/// `root` (always `/`-separated), sorted for deterministic output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push(SourceFile::new(rel, text));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Fixture corpus: every rule must fire on its trip fixture and stay
+//! silent on its pass fixture (allow annotations included).
+
+use ares_lint::findings::{Allows, Finding};
+use ares_lint::rules::msg_surface::{self, Locator, Surface, SurfaceSpec};
+use ares_lint::rules::{blocking, drift, panic_path, unsafety};
+use ares_lint::scan::SourceFile;
+use std::collections::HashMap;
+
+fn fixture(name: &str) -> SourceFile {
+    let path = format!("{}/tests/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    SourceFile::new(format!("{name}.rs"), text)
+}
+
+/// Raw rule findings filtered through the fixture's own allow
+/// annotations — the same pipeline `ares_lint::run` applies.
+fn with_allows(file: &SourceFile, raw: Vec<Finding>) -> Vec<Finding> {
+    Allows::collect(file).filter(raw)
+}
+
+/// A single-file surface spec: enum and all three surfaces in `path`.
+fn single_file_spec(path: &str) -> SurfaceSpec {
+    let s = |locator: Locator, what: &str| Surface {
+        file: path.to_string(),
+        locator,
+        what: what.into(),
+    };
+    SurfaceSpec {
+        enum_file: path.to_string(),
+        enum_name: "Msg".into(),
+        surfaces: vec![
+            s(Locator::Impl("WireEncode".into(), "Msg".into()), "wire codec encode"),
+            s(Locator::Impl("WireDecode".into(), "Msg".into()), "wire codec decode"),
+            s(Locator::Fn("route".into()), "shard routing"),
+        ],
+        tag_pair: Some((0, 1)),
+    }
+}
+
+fn run_msg_surface(name: &str) -> Vec<Finding> {
+    let f = fixture(name);
+    let spec = single_file_spec(&f.path);
+    let map: HashMap<String, &SourceFile> = [(f.path.clone(), &f)].into_iter().collect();
+    msg_surface::check(&map, &spec)
+}
+
+#[test]
+fn msg_surface_fires_on_trip() {
+    let out = run_msg_surface("msg_surface_trip");
+    assert!(
+        out.iter().any(|f| f.msg.contains("`Msg::Cmd` is not classified in shard routing")),
+        "deleted routing arm must fire: {out:?}"
+    );
+    assert!(
+        out.iter().any(|f| f.msg.contains("wire tag mismatch")),
+        "encode/decode tag divergence must fire: {out:?}"
+    );
+}
+
+#[test]
+fn msg_surface_silent_on_pass() {
+    assert_eq!(run_msg_surface("msg_surface_pass"), vec![]);
+}
+
+#[test]
+fn net_panic_fires_on_trip() {
+    let f = fixture("net_panic_trip");
+    let out = with_allows(&f, panic_path::check(&f));
+    assert!(out.len() >= 5, "index + unwrap + expect + panic! + todo! must fire: {out:?}");
+}
+
+#[test]
+fn net_panic_silent_on_pass() {
+    let f = fixture("net_panic_pass");
+    assert_eq!(with_allows(&f, panic_path::check(&f)), vec![]);
+}
+
+#[test]
+fn loop_blocking_fires_on_trip() {
+    let f = fixture("loop_blocking_trip");
+    let out = with_allows(&f, blocking::check(&f, &["event_loop"]));
+    assert!(out.len() >= 4, "write_all + flush + sleep + lock must fire: {out:?}");
+    for found in &out {
+        assert_eq!(found.rule, "loop-blocking");
+    }
+}
+
+#[test]
+fn loop_blocking_silent_on_pass() {
+    let f = fixture("loop_blocking_pass");
+    assert_eq!(with_allows(&f, blocking::check(&f, &["event_loop"])), vec![]);
+}
+
+#[test]
+fn unsafe_safety_fires_on_trip() {
+    let f = fixture("unsafe_safety_trip");
+    let out = with_allows(&f, unsafety::check(&f));
+    assert_eq!(out.len(), 2, "bare unsafe fn + bare unsafe block: {out:?}");
+}
+
+#[test]
+fn unsafe_safety_silent_on_pass() {
+    let f = fixture("unsafe_safety_pass");
+    assert_eq!(with_allows(&f, unsafety::check(&f)), vec![]);
+}
+
+#[test]
+fn drift_fires_on_trip() {
+    let f = fixture("drift_trip");
+    let out = with_allows(&f, drift::check(&f));
+    assert_eq!(out.len(), 3, "dbg! + todo! + unimplemented! must fire: {out:?}");
+}
+
+#[test]
+fn drift_silent_on_pass() {
+    let f = fixture("drift_pass");
+    assert_eq!(with_allows(&f, drift::check(&f)), vec![]);
+}

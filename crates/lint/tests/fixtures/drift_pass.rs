@@ -1,0 +1,18 @@
+// Fixture: finished code; scaffolding only inside test modules.
+
+pub fn todo() -> usize {
+    1
+}
+
+pub fn f() -> usize {
+    todo()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dbg_is_fine_in_tests() {
+        let x = dbg!(super::f());
+        assert_eq!(x, 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: scaffolding left in production code.
+
+pub fn half_done(x: usize) -> usize {
+    let y = dbg!(x + 1);
+    if y > 10 {
+        todo!()
+    }
+    unimplemented!()
+}

@@ -1,0 +1,13 @@
+// Fixture: an event loop that only parks on its own channel (audited),
+// hands I/O to writer threads, and never blocks mid-event.
+
+fn event_loop(rx: Receiver<Event>, pool: Pool) {
+    // lint: allow(loop-blocking, reason = "the loop's own park point; blocking here means idle")
+    while let Ok(ev) = rx.recv() {
+        apply(ev, &pool);
+    }
+}
+
+fn apply(ev: Event, pool: &Pool) {
+    pool.enqueue(ev.frame());
+}

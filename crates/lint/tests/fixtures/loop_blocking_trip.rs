@@ -1,0 +1,16 @@
+// Fixture: an event loop that writes to sockets, sleeps, and takes
+// locks inline — every shard stall the rule exists to prevent.
+
+fn event_loop(rx: Receiver<Event>, sock: TcpStream, state: Mutex<State>) {
+    while let Ok(ev) = rx.try_next() {
+        sock.write_all(ev.bytes());
+        sock.flush();
+        std::thread::sleep(Duration::from_millis(1));
+        let st = state.lock();
+        st.apply(ev);
+    }
+}
+
+fn apply(ev: Event, out: &mut Vec<Event>) {
+    out.push(ev);
+}

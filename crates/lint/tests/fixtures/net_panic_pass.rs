@@ -1,0 +1,24 @@
+// Fixture: a decode path that handles hostile input totally — errors
+// propagate, bounds are checked via `.get()`, the one audited exception
+// carries an allow annotation with a reason.
+
+pub fn decode(buf: &[u8]) -> Result<u16, Error> {
+    let first = buf.get(0).copied().ok_or(Error::Eof)?;
+    let second = buf.get(1).copied().ok_or(Error::Eof)?;
+    let checked = buf.len().checked_sub(2).ok_or(Error::Eof)?;
+    // lint: allow(net-panic, reason = "in-bounds: len >= 2 established by the two gets above")
+    let tail = &buf[2..];
+    let _ = (checked, tail);
+    Ok(u16::from_be_bytes([first, second]))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = super::decode(&[1, 2]).unwrap();
+        assert_eq!(v, 0x0102);
+        let x = vec![1][0];
+        assert_eq!(x, 1);
+    }
+}

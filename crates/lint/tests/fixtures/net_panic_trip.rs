@@ -1,0 +1,13 @@
+// Fixture: the full panic menagerie on a decode path.
+
+pub fn decode(buf: &[u8]) -> u16 {
+    let first = buf[0];
+    let parsed: u8 = core::str::from_utf8(buf).unwrap().parse().expect("digits");
+    if first > 128 {
+        panic!("bad frame");
+    }
+    if parsed == 0 {
+        todo!()
+    }
+    u16::from(first)
+}

@@ -1,0 +1,19 @@
+// Fixture: every unsafe region argued.
+
+/// Reads the first lane.
+///
+/// # Safety
+///
+/// Caller must verify SSSE3 support before calling; `buf` must hold at
+/// least 16 bytes.
+pub unsafe fn load_lane(buf: &[u8]) -> Lane {
+    load_unaligned(buf.as_ptr())
+}
+
+pub fn checked(buf: &[u8]) -> Option<Lane> {
+    if buf.len() < 16 {
+        return None;
+    }
+    // SAFETY: length checked above; feature detection done at startup.
+    Some(unsafe { load_lane(buf) })
+}

@@ -1,0 +1,9 @@
+// Fixture: bare unsafe regions with no safety argument anywhere near.
+
+pub unsafe fn load_lane(buf: &[u8]) -> Lane {
+    load_unaligned(buf.as_ptr())
+}
+
+pub fn checked(buf: &[u8]) -> Lane {
+    unsafe { load_lane(buf) }
+}

@@ -1,0 +1,122 @@
+//! The lint against the real tree, plus mutation tests: textually break
+//! a real match surface and assert the lint catches it. Lexical
+//! analysis needs no compilation, so a mutated tree never has to build.
+//!
+//! Running the clean check inside `cargo test` also wires lint
+//! cleanliness into tier-1 directly, independent of the CI job.
+
+use ares_lint::scan::SourceFile;
+use ares_lint::workspace::collect_files;
+use std::path::PathBuf;
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+fn load() -> Vec<SourceFile> {
+    collect_files(&root()).expect("scan workspace")
+}
+
+/// Replaces `from` with `to` in the named file's text, panicking if the
+/// pattern is absent (a silently missing pattern would turn the
+/// mutation test into a no-op).
+fn mutate(files: &mut [SourceFile], path: &str, from: &str, to: &str) {
+    let f = files
+        .iter_mut()
+        .find(|f| f.path == path)
+        .unwrap_or_else(|| panic!("{path} not in scanned set"));
+    assert!(f.text.contains(from), "mutation pattern {from:?} not found in {path}");
+    *f = SourceFile::new(path, f.text.replace(from, to));
+}
+
+fn msg_surface_findings(files: &[SourceFile]) -> Vec<String> {
+    ares_lint::run(files, Some("msg-surface")).into_iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let files = load();
+    let findings = ares_lint::run(&files, None);
+    assert!(
+        findings.is_empty(),
+        "the tree must lint clean; run `cargo run -p ares-lint -- --workspace`:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn deleting_shard_route_arm_fires() {
+    let mut files = load();
+    // Collapse the Repair routing arm into Dap's: Msg::Repair is no
+    // longer classified in `shard::route`.
+    mutate(&mut files, "crates/core/src/shard.rs", "Msg::Repair(", "Msg::Dap(");
+    let out = msg_surface_findings(&files);
+    assert!(
+        out.iter().any(|m| m.contains("Msg::Repair") && m.contains("shard routing")),
+        "got: {out:?}"
+    );
+}
+
+#[test]
+fn deleting_codec_decode_arm_fires() {
+    let mut files = load();
+    mutate(&mut files, "crates/net/src/codec.rs", "4 => Msg::Repair(RepairMsg::decode(r)?),", "");
+    let out = msg_surface_findings(&files);
+    assert!(
+        out.iter().any(|m| m.contains("Msg::Repair") && m.contains("wire codec decode")),
+        "got: {out:?}"
+    );
+}
+
+#[test]
+fn diverging_codec_tag_fires() {
+    let mut files = load();
+    mutate(
+        &mut files,
+        "crates/net/src/codec.rs",
+        "4 => Msg::Repair(RepairMsg::decode(r)?),",
+        "9 => Msg::Repair(RepairMsg::decode(r)?),",
+    );
+    let out = msg_surface_findings(&files);
+    assert!(
+        out.iter().any(|m| m.contains("Msg::Repair") && m.contains("wire tag mismatch")),
+        "got: {out:?}"
+    );
+}
+
+#[test]
+fn deleting_admission_arm_fires() {
+    let mut files = load();
+    mutate(&mut files, "crates/core/src/msg.rs", "| Msg::Repair(_) => true", "=> true");
+    let out = msg_surface_findings(&files);
+    assert!(
+        out.iter().any(|m| m.contains("Msg::Repair") && m.contains("network admission")),
+        "got: {out:?}"
+    );
+}
+
+#[test]
+fn deleting_referenced_object_arm_fires() {
+    let mut files = load();
+    mutate(&mut files, "crates/net/src/codec.rs", "Msg::Repair(m) => match m {", "_ => match m {");
+    let out = msg_surface_findings(&files);
+    assert!(
+        out.iter().any(|m| m.contains("Msg::Repair") && m.contains("referenced_object")),
+        "got: {out:?}"
+    );
+}
+
+#[test]
+fn new_enum_variant_fires_on_every_surface() {
+    let mut files = load();
+    mutate(
+        &mut files,
+        "crates/core/src/msg.rs",
+        "    /// Session-attributed client invocation (the `Store` frontends).\n    Invoke(Invoke),",
+        "    /// Session-attributed client invocation (the `Store` frontends).\n    Invoke(Invoke),\n    /// A hypothetical new message family nobody classified yet.\n    Probe(ClientCmd),",
+    );
+    let out = msg_surface_findings(&files);
+    let hits = out.iter().filter(|m| m.contains("Msg::Probe")).count();
+    // 6 mention surfaces + encode-tag cross-check.
+    assert!(hits >= 7, "a new variant must fire on every surface, got {hits}: {out:?}");
+}

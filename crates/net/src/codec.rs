@@ -132,6 +132,7 @@ impl<'a> WireReader<'a> {
         if n > self.remaining() {
             return Err(DecodeError::UnexpectedEof);
         }
+        // lint: allow(net-panic, reason = "in-bounds: n <= remaining() checked two lines above")
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -139,18 +140,21 @@ impl<'a> WireReader<'a> {
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        // lint: allow(net-panic, reason = "in-bounds: take(1) returned exactly one byte")
         Ok(self.take(1)?[0])
     }
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
         let b = self.take(4)?;
+        // lint: allow(net-panic, reason = "in-bounds: take(4) returned exactly four bytes")
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
         let b = self.take(8)?;
+        // lint: allow(net-panic, reason = "in-bounds: take(8) returned exactly eight bytes")
         Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
@@ -181,6 +185,7 @@ impl<'a> WireReader<'a> {
         };
         Ok(match shared {
             Some(b) => b.slice(start_of_data..self.pos),
+            // lint: allow(net-panic, reason = "in-bounds: len validated against remaining() before pos advanced")
             None => Bytes::copy_from_slice(&self.buf[start_of_data..self.pos]),
         })
     }
@@ -1073,6 +1078,7 @@ pub fn try_encode_frame(from: ProcessId, msg: &Msg) -> Result<Vec<u8>, DecodeErr
     if payload_len > MAX_FRAME_LEN {
         return Err(DecodeError::FrameTooLarge(payload_len));
     }
+    // lint: allow(net-panic, reason = "in-bounds: out begins with the 4-byte placeholder pushed above")
     out[..4].copy_from_slice(&(payload_len as u32).to_be_bytes());
     Ok(out)
 }
@@ -1086,6 +1092,7 @@ pub fn try_encode_frame(from: ProcessId, msg: &Msg) -> Result<Vec<u8>, DecodeErr
 /// that must stay alive on oversized messages use
 /// [`try_encode_frame`].
 pub fn encode_frame(from: ProcessId, msg: &Msg) -> Vec<u8> {
+    // lint: allow(net-panic, reason = "documented panic contract (# Panics); encodes local messages, never network bytes")
     try_encode_frame(from, msg).expect("frame exceeds MAX_FRAME_LEN")
 }
 
@@ -1113,6 +1120,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(ProcessId, Msg)>> {
     }
     let mut rest = [0u8; 3];
     r.read_exact(&mut rest)?;
+    // lint: allow(net-panic, reason = "in-bounds: fixed-size stack arrays, constant indices")
     let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(DecodeError::FrameTooLarge(len).into());
@@ -1129,6 +1137,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(ProcessId, Msg)>> {
         if payload.len() < target {
             payload.resize(target, 0);
         }
+        // lint: allow(net-panic, reason = "in-bounds: filled < target <= payload.len() after the resize above")
         let n = match r.read(&mut payload[filled..target]) {
             Ok(n) => n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

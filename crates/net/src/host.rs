@@ -55,22 +55,22 @@ impl Timers {
     }
 
     fn arm(&self, deadline: Instant, token: u64) {
-        self.state.lock().expect("timer lock").heap.push(Reverse((deadline, token)));
+        crate::sync::lock(&self.state).heap.push(Reverse((deadline, token)));
         self.cv.notify_one();
     }
 
     fn clear(&self) {
-        self.state.lock().expect("timer lock").heap.clear();
+        crate::sync::lock(&self.state).heap.clear();
     }
 
     fn shutdown(&self) {
-        self.state.lock().expect("timer lock").shutdown = true;
+        crate::sync::lock(&self.state).shutdown = true;
         self.cv.notify_one();
     }
 
     /// Runs until shutdown, delivering due tokens through `fire`.
     pub(crate) fn run(&self, fire: impl Fn(u64)) {
-        let mut st = self.state.lock().expect("timer lock");
+        let mut st = crate::sync::lock(&self.state);
         loop {
             if st.shutdown {
                 return;
@@ -78,16 +78,16 @@ impl Timers {
             let now = Instant::now();
             match st.heap.peek().copied() {
                 None => {
-                    st = self.cv.wait(st).expect("timer lock");
+                    st = crate::sync::cv_wait(&self.cv, st);
                 }
                 Some(Reverse((deadline, token))) if deadline <= now => {
                     st.heap.pop();
                     drop(st);
                     fire(token);
-                    st = self.state.lock().expect("timer lock");
+                    st = crate::sync::lock(&self.state);
                 }
                 Some(Reverse((deadline, _))) => {
-                    let (guard, _) = self.cv.wait_timeout(st, deadline - now).expect("timer lock");
+                    let (guard, _) = crate::sync::cv_wait_timeout(&self.cv, st, deadline - now);
                     st = guard;
                 }
             }
@@ -139,7 +139,7 @@ impl FrameQueue {
     /// Enqueues a frame, evicting the oldest queued frame beyond the
     /// high-water mark. Never blocks the sending (event-loop) thread.
     pub(crate) fn push(&self, frame: Arc<[u8]>) {
-        let mut st = self.state.lock().expect("frame queue lock");
+        let mut st = crate::sync::lock(&self.state);
         if st.closed {
             return;
         }
@@ -156,7 +156,7 @@ impl FrameQueue {
     /// `out` in one go; `false` once closed and drained. This is what
     /// the writer batches on: one flush per drained batch.
     pub(crate) fn pop_batch(&self, out: &mut Vec<Arc<[u8]>>) -> bool {
-        let mut st = self.state.lock().expect("frame queue lock");
+        let mut st = crate::sync::lock(&self.state);
         loop {
             if !st.queue.is_empty() {
                 out.extend(st.queue.drain(..));
@@ -165,22 +165,22 @@ impl FrameQueue {
             if st.closed {
                 return false;
             }
-            st = self.cv.wait(st).expect("frame queue lock");
+            st = crate::sync::cv_wait(&self.cv, st);
         }
     }
 
     pub(crate) fn close(&self) {
-        self.state.lock().expect("frame queue lock").closed = true;
+        crate::sync::lock(&self.state).closed = true;
         self.cv.notify_all();
     }
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.state.lock().expect("frame queue lock").queue.len()
+        crate::sync::lock(&self.state).queue.len()
     }
 
     pub(crate) fn dropped(&self) -> u64 {
-        self.state.lock().expect("frame queue lock").dropped
+        crate::sync::lock(&self.state).dropped
     }
 }
 
@@ -217,7 +217,7 @@ impl PeerPool {
             return; // unknown destination: drop, like the simulator does
         };
         let (queue, spawn) = {
-            let mut queues = self.queues.lock().expect("pool lock");
+            let mut queues = crate::sync::lock(&self.queues);
             match queues.get(&to) {
                 Some(q) => (q.clone(), false),
                 None => {
@@ -242,8 +242,7 @@ impl PeerPool {
     /// snapshot can never observe `frames_sent < batches_flushed` —
     /// every counted batch carried ≥ 1 frame.
     pub(crate) fn stats(&self) -> (u64, u64, u64, u64) {
-        let dropped =
-            self.queues.lock().expect("pool lock").values().map(|q| q.dropped()).sum::<u64>();
+        let dropped = crate::sync::lock(&self.queues).values().map(|q| q.dropped()).sum::<u64>();
         let batches = self.counters.batches_flushed.load(Ordering::SeqCst);
         let frames = self.counters.frames_sent.load(Ordering::SeqCst);
         (batches, frames, self.counters.frames_abandoned.load(Ordering::Relaxed), dropped)
@@ -251,12 +250,12 @@ impl PeerPool {
 
     #[cfg(test)]
     fn queue_len(&self, to: ProcessId) -> usize {
-        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.len())
+        crate::sync::lock(&self.queues).get(&to).map_or(0, |q| q.len())
     }
 
     #[cfg(test)]
     fn queue_dropped(&self, to: ProcessId) -> u64 {
-        self.queues.lock().expect("pool lock").get(&to).map_or(0, |q| q.dropped())
+        crate::sync::lock(&self.queues).get(&to).map_or(0, |q| q.dropped())
     }
 }
 
@@ -264,7 +263,7 @@ impl Drop for PeerPool {
     fn drop(&mut self) {
         // Wake and retire every writer thread (they hold only their own
         // queue Arc, so closing is what ends them).
-        for q in self.queues.lock().expect("pool lock").values() {
+        for q in crate::sync::lock(&self.queues).values() {
             q.close();
         }
     }
@@ -574,12 +573,13 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
 
         // One event loop + one timer thread per shard.
         let mut completions = completions;
-        for (si, (actor, rx)) in actors.into_iter().zip(rxs).enumerate() {
+        for (si, ((actor, rx), shard)) in actors.into_iter().zip(rxs).zip(shards.iter()).enumerate()
+        {
             let loopbacks = txs.clone();
             let pool = pool.clone();
-            let timers = shards[si].timers.clone();
-            let inbound = shards[si].inbound.clone();
-            let counters = shards[si].counters.clone();
+            let timers = shard.timers.clone();
+            let inbound = shard.inbound.clone();
+            let counters = shard.counters.clone();
             // Completions only ever come from client actors, which are
             // single-sharded; hand the sink to shard 0.
             let sink = if si == 0 { completions.take() } else { None };
@@ -589,8 +589,8 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
                     counters,
                 );
             }));
-            let tx = shards[si].tx.clone();
-            let timers = shards[si].timers.clone();
+            let tx = shard.tx.clone();
+            let timers = shard.timers.clone();
             threads.push(std::thread::spawn(move || {
                 timers.run(|token| {
                     let _ = tx.send(Event::Timer { token });
@@ -636,7 +636,9 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
     /// lands on `o`'s shard).
     pub(crate) fn inject(&self, from: ProcessId, msg: Msg) {
         let si = (self.router)(&msg, self.shards.len());
-        let _ = self.shards[si].tx.send(Event::Deliver { from, msg, counted: false });
+        if let Some(shard) = self.shards.get(si) {
+            let _ = shard.tx.send(Event::Deliver { from, msg, counted: false });
+        }
     }
 
     pub(crate) fn pause(&self) {
@@ -768,8 +770,11 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
                 // Command/invoke frames are environment-injected, never
                 // protocol traffic: a peer must not be able to drive a
                 // host's client sessions over the network. The trusted
-                // local path is `inject()`.
-                if matches!(msg, Msg::Cmd(_) | Msg::Invoke(_)) {
+                // local path is `inject()`. The classification lives in
+                // `Msg::network_admissible` (a lint-checked exhaustive
+                // match, so a future variant cannot default into
+                // admission the way a `matches!` deny-list would allow).
+                if !msg.network_admissible() {
                     continue;
                 }
                 // Network-facing dispatch guard: a stale or hostile
@@ -781,7 +786,13 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
                 // per-object state.
                 if admission.admits(&msg) {
                     let si = (targets.router)(&msg, targets.txs.len());
-                    let inbound = &targets.inbounds[si];
+                    // A router returning an out-of-range shard is a host
+                    // misconfiguration; drop the frame rather than die.
+                    let (Some(inbound), Some(shard_counters), Some(tx)) =
+                        (targets.inbounds.get(si), targets.counters.get(si), targets.txs.get(si))
+                    else {
+                        continue;
+                    };
                     // Backpressure: stall this connection (and, through
                     // TCP, its peer) while the shard's event queue is
                     // saturated instead of letting it grow without
@@ -796,13 +807,13 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
                         std::thread::sleep(Duration::from_millis(1));
                     }
                     let backlog = inbound.fetch_add(1, Ordering::SeqCst) + 1;
-                    targets.counters[si].inbox_high_water.fetch_max(backlog, Ordering::Relaxed);
+                    shard_counters.inbox_high_water.fetch_max(backlog, Ordering::Relaxed);
                     // frames_routed is counted by the shard as it
                     // *applies* the delivery, not here: a snapshot must
                     // never observe a routed frame that has not yet
                     // been applied (events_applied ≥ frames_routed is
                     // an invariant tests rely on).
-                    if targets.txs[si].send(Event::Deliver { from, msg, counted: true }).is_err() {
+                    if tx.send(Event::Deliver { from, msg, counted: true }).is_err() {
                         inbound.fetch_sub(1, Ordering::SeqCst);
                         return;
                     }
@@ -833,6 +844,7 @@ fn event_loop<A: Actor<Msg> + Send + 'static>(
 ) {
     let mut rng = StdRng::seed_from_u64(pid.0 as u64 ^ 0xA1E5_0000 ^ ((shard as u64) << 40));
     let mut paused = false;
+    // lint: allow(loop-blocking, reason = "the loop's own park point: blocking here means the shard is idle, not stalled mid-event")
     while let Ok(ev) = rx.recv() {
         match ev {
             Event::Shutdown => return,
@@ -901,7 +913,9 @@ fn apply<A>(
                     // routed like network traffic, because the object's
                     // shard may not be the sending shard.
                     let si = router(&msg, loopbacks.len());
-                    let _ = loopbacks[si].send(Event::Deliver { from: pid, msg, counted: false });
+                    if let Some(tx) = loopbacks.get(si) {
+                        let _ = tx.send(Event::Deliver { from: pid, msg, counted: false });
+                    }
                     continue;
                 }
                 let frame = match &last_frame {

@@ -51,6 +51,7 @@
 pub mod codec;
 mod host;
 mod runtime;
+mod sync;
 pub mod testing;
 
 pub use codec::{DecodeError, WireDecode, WireEncode, MAX_FRAME_LEN, WIRE_VERSION};

@@ -292,14 +292,14 @@ impl RouteShared {
     /// The event-loop side: route `c` to its ticket (if still claimed)
     /// and bump the progress counter.
     fn route(&self, c: OpCompletion) {
-        let cell = self.router.lock().expect("router lock").remove(&c.op);
+        let cell = crate::sync::lock(&self.router).remove(&c.op);
         if let Some(cell) = cell {
-            *cell.slot.lock().expect("ticket slot") = Some(c);
+            *crate::sync::lock(&cell.slot) = Some(c);
             cell.cv.notify_all();
         }
         // A timed-out (withdrawn) ticket's completion still counts as
         // progress: the session it unblocks may now start its next op.
-        let mut n = self.progress.lock().expect("progress lock");
+        let mut n = crate::sync::lock(&self.progress);
         *n += 1;
         self.progress_cv.notify_all();
     }
@@ -418,7 +418,7 @@ impl NetStore {
 
     /// Sets the default deadline [`OpTicket::wait`] applies.
     pub fn set_op_timeout(&self, timeout: Duration) {
-        *self.inner.op_timeout.lock().expect("timeout lock") = timeout;
+        *crate::sync::lock(&self.inner.op_timeout) = timeout;
     }
 
     /// Microseconds since this deployment's timestamp epoch — the clock
@@ -430,7 +430,7 @@ impl NetStore {
 
     /// Number of completions routed so far (progress counter).
     pub fn completions_routed(&self) -> u64 {
-        *self.inner.shared.progress.lock().expect("progress lock")
+        *crate::sync::lock(&self.inner.shared.progress)
     }
 
     /// Blocks until the progress counter exceeds `seen` (returning the
@@ -439,18 +439,14 @@ impl NetStore {
     /// [`OpTicket::try_wait`] after each wakeup.
     pub fn wait_progress(&self, seen: u64, timeout: Duration) -> u64 {
         let deadline = Instant::now() + timeout;
-        let mut n = self.inner.shared.progress.lock().expect("progress lock");
+        let mut n = crate::sync::lock(&self.inner.shared.progress);
         while *n <= seen {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            let (guard, _) = self
-                .inner
-                .shared
-                .progress_cv
-                .wait_timeout(n, deadline - now)
-                .expect("progress lock");
+            let (guard, _) =
+                crate::sync::cv_wait_timeout(&self.inner.shared.progress_cv, n, deadline - now);
             n = guard;
         }
         *n
@@ -460,7 +456,7 @@ impl NetStore {
     /// tickets time out; subsequent submissions fail with
     /// [`OpError::Closed`].
     pub fn shutdown(&self) {
-        let host = self.inner.host.lock().expect("host lock").take();
+        let host = crate::sync::lock(&self.inner.host).take();
         if let Some(h) = host {
             h.shutdown();
         }
@@ -513,11 +509,11 @@ impl StoreSession for NetSession {
         let cell = TicketCell::new();
         // Claim the route *before* injecting: the completion can never
         // arrive unrouted.
-        self.inner.shared.router.lock().expect("router lock").insert(op, cell.clone());
+        crate::sync::lock(&self.inner.shared.router).insert(op, cell.clone());
         {
-            let host = self.inner.host.lock().expect("host lock");
+            let host = crate::sync::lock(&self.inner.host);
             let Some(h) = host.as_ref() else {
-                self.inner.shared.router.lock().expect("router lock").remove(&op);
+                crate::sync::lock(&self.inner.shared.router).remove(&op);
                 return Err(OpError::Closed);
             };
             h.inject(ENV, Msg::Invoke(Invoke { session: self.id, seq, cmd }));
@@ -555,7 +551,7 @@ impl NetTicket {
     /// [`OpError::Timeout`] if no completion is routed in time.
     pub fn wait_for(self, timeout: Duration) -> Result<OpCompletion, OpError> {
         let deadline = Instant::now() + timeout;
-        let mut slot = self.cell.slot.lock().expect("ticket slot");
+        let mut slot = crate::sync::lock(&self.cell.slot);
         loop {
             if let Some(c) = slot.take() {
                 return Ok(c);
@@ -565,18 +561,12 @@ impl NetTicket {
                 drop(slot);
                 // Withdraw the route; if the sink already claimed it the
                 // fill is imminent — take it after all.
-                let withdrawn = self
-                    .inner
-                    .shared
-                    .router
-                    .lock()
-                    .expect("router lock")
-                    .remove(&self.op)
-                    .is_some();
+                let withdrawn =
+                    crate::sync::lock(&self.inner.shared.router).remove(&self.op).is_some();
                 if withdrawn {
                     return Err(OpError::Timeout { op: self.op });
                 }
-                slot = self.cell.slot.lock().expect("ticket slot");
+                slot = crate::sync::lock(&self.cell.slot);
                 loop {
                     // Predicate first: Condvar can report timed_out even
                     // when the sink filled the slot during the wait, and
@@ -584,11 +574,8 @@ impl NetTicket {
                     if let Some(c) = slot.take() {
                         return Ok(c);
                     }
-                    let (guard, t) = self
-                        .cell
-                        .cv
-                        .wait_timeout(slot, Duration::from_secs(1))
-                        .expect("ticket slot");
+                    let (guard, t) =
+                        crate::sync::cv_wait_timeout(&self.cell.cv, slot, Duration::from_secs(1));
                     slot = guard;
                     if t.timed_out() {
                         if let Some(c) = slot.take() {
@@ -598,7 +585,7 @@ impl NetTicket {
                     }
                 }
             }
-            let (guard, _) = self.cell.cv.wait_timeout(slot, deadline - now).expect("ticket slot");
+            let (guard, _) = crate::sync::cv_wait_timeout(&self.cell.cv, slot, deadline - now);
             slot = guard;
         }
     }
@@ -611,11 +598,11 @@ impl OpTicket for NetTicket {
 
     /// Non-blocking poll. Returns the completion at most once.
     fn try_wait(&mut self) -> Option<Result<OpCompletion, OpError>> {
-        self.cell.slot.lock().expect("ticket slot").take().map(Ok)
+        crate::sync::lock(&self.cell.slot).take().map(Ok)
     }
 
     fn wait(self) -> Result<OpCompletion, OpError> {
-        let timeout = *self.inner.op_timeout.lock().expect("timeout lock");
+        let timeout = *crate::sync::lock(&self.inner.op_timeout);
         self.wait_for(timeout)
     }
 }
@@ -699,14 +686,16 @@ impl RemoteClient {
         // timeout panics only the calling thread — the client and its
         // other sessions keep working.
         let ticket = {
-            let mut session = self.session.lock().expect("session lock");
+            let mut session = crate::sync::lock(&self.session);
             match session.submit(cmd) {
                 Ok(t) => t,
+                // lint: allow(net-panic, reason = "documented panic contract of the blocking client facade (# Panics); input is the local caller's, never network bytes")
                 Err(e) => panic!("{} on client {} rejected: {e}", what, self.pid()),
             }
         };
         match ticket.wait_for(self.op_timeout) {
             Ok(c) => c,
+            // lint: allow(net-panic, reason = "documented panic contract of the blocking client facade (# Panics); panics only the calling thread on timeout")
             Err(e) => panic!("{} on client {} did not complete: {e:?}", what, self.pid()),
         }
     }

@@ -1,0 +1,52 @@
+//! Poison-recovering lock/condvar helpers.
+//!
+//! `Mutex::lock().expect(..)` turns one panicked thread into a panic
+//! cascade: every other thread touching the same lock dies on the
+//! poison error, including shard event loops and writer threads that
+//! were nowhere near the original bug. Every runtime lock in this crate
+//! goes through these helpers instead, which recover the inner guard —
+//! the protected state is either consistent (the panicking thread never
+//! got to mutate it) or protocol-level self-correcting (frame queues
+//! and timers tolerate lost entries by design, DESIGN §6).
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Acquires `m`, recovering the guard from a poisoned lock.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Waits on `cv`, recovering the guard from a poisoned lock.
+pub(crate) fn cv_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+}
+
+/// Waits on `cv` with a timeout, recovering the guard from a poisoned
+/// lock.
+pub(crate) fn cv_wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur).unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().expect("first acquire");
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "guard recovered with state intact");
+    }
+}

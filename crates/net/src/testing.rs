@@ -99,6 +99,7 @@ impl ClusterBuilder {
 
     /// Binds every port, starts every node, connects every client.
     pub fn start(self) -> io::Result<LocalCluster> {
+        // lint: allow(net-panic, reason = "documented harness contract: builder requires at least one configuration, local input only")
         let c0 = self.configs[0].id;
         let server_pids: BTreeSet<ProcessId> =
             self.configs.iter().flat_map(|c| c.servers.iter().copied()).collect();
@@ -118,6 +119,7 @@ impl ClusterBuilder {
 
         let mut nodes = HashMap::new();
         for &pid in &server_pids {
+            // lint: allow(net-panic, reason = "infallible: every server pid was bound into `listeners` in the loop above")
             let l = listeners.remove(&pid).expect("bound above");
             nodes.insert(
                 pid,
@@ -141,6 +143,7 @@ impl ClusterBuilder {
             if let Some(unit) = self.backoff_unit {
                 cfg.backoff_unit = unit;
             }
+            // lint: allow(net-panic, reason = "infallible: every client pid was bound into `listeners` in the loop above")
             let l = listeners.remove(&pid).expect("bound above");
             clients.insert(
                 pid,
@@ -190,6 +193,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` was not declared as a client.
     pub fn client(&self, pid: u32) -> &RemoteClient {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared client")
         self.clients.get(&ProcessId(pid)).expect("declared client")
     }
 
@@ -212,6 +216,7 @@ impl LocalCluster {
 
     /// Number of shards each server node runs.
     pub fn shard_count(&self, pid: u32) -> usize {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         self.nodes.get(&ProcessId(pid)).expect("server pid").shard_count()
     }
 
@@ -222,6 +227,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` is not a server of this cluster.
     pub fn node_stats(&self, pid: u32) -> crate::NodeStats {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         self.nodes.get(&ProcessId(pid)).expect("server pid").stats()
     }
 
@@ -232,6 +238,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` is not a server of this cluster.
     pub fn server_addr(&self, pid: u32) -> std::net::SocketAddr {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         self.nodes.get(&ProcessId(pid)).expect("server pid").local_addr()
     }
 
@@ -242,6 +249,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` is not a server of this cluster.
     pub fn kill(&self, pid: u32) {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         self.nodes.get(&ProcessId(pid)).expect("server pid").pause();
     }
 
@@ -252,6 +260,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` is not a server of this cluster.
     pub fn restart(&self, pid: u32) {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         self.nodes.get(&ProcessId(pid)).expect("server pid").resume();
     }
 
@@ -262,6 +271,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` is not a server of this cluster.
     pub fn restart_blank(&self, pid: u32) {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         let node = self.nodes.get(&ProcessId(pid)).expect("server pid");
         node.replace_blank();
         node.resume();
@@ -274,6 +284,7 @@ impl LocalCluster {
     ///
     /// Panics if `pid` is not a server of this cluster.
     pub fn trigger_repair(&self, pid: u32, cfg: u32, obj: u32) {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
         self.nodes.get(&ProcessId(pid)).expect("server pid").inject(
             ENV,
             Msg::Repair(RepairMsg::Trigger { cfg: ConfigId(cfg), obj: ObjectId(obj) }),
