@@ -1,0 +1,630 @@
+//! An expression-level statement parser over the token stream.
+//!
+//! The CFG rules (`completion-once`, `lock-order`) need more than
+//! regions: they need *branch structure* — which statements run on
+//! which path, where a function can exit, how far a `let` binding's
+//! scope extends. This parser turns a function body into a statement
+//! tree capturing exactly that: `if`/`else` chains, `match` arms,
+//! loops, `let ... else`, `return`/`break`/`continue`, blocks, and
+//! plain expression statements (with their `?` early exits).
+//!
+//! It is a *total* parser in the same spirit as the lexer: any token
+//! sequence produces a tree (malformed input degrades to flat
+//! expression statements), so fixtures that do not compile still parse.
+//! Expression interiors are kept as token ranges — the rules ask
+//! lexical questions (`mentions x?`, `calls remove?`) inside them.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::SourceFile;
+use std::ops::Range;
+
+/// One statement of a parsed function body. Ranges are token-index
+/// ranges into [`SourceFile::toks`].
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `if cond { then } else { els }` — `else if` chains nest in `els`.
+    If {
+        /// The condition tokens (including any `let` pattern).
+        cond: Range<usize>,
+        /// The then-branch statements.
+        then: Vec<Stmt>,
+        /// The else-branch statements, if an `else` is present.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `match head { pat => body, ... }` — patterns are dropped, arm
+    /// bodies kept.
+    Match {
+        /// The scrutinee tokens.
+        head: Range<usize>,
+        /// One statement list per arm.
+        arms: Vec<Vec<Stmt>>,
+    },
+    /// `loop`/`while`/`for` body.
+    Loop {
+        /// The body statements.
+        body: Vec<Stmt>,
+        /// Whether the body may run zero times (`while`/`for`).
+        zero_iters: bool,
+    },
+    /// `return expr;` (the range covers the whole statement).
+    Return {
+        /// The statement's tokens.
+        range: Range<usize>,
+    },
+    /// `break expr;`
+    Break {
+        /// The statement's tokens.
+        range: Range<usize>,
+    },
+    /// `continue;`
+    Continue,
+    /// `let PAT = init else { els };` — the diverging else branch.
+    LetElse {
+        /// Tokens of `let PAT = init` (before `else`).
+        range: Range<usize>,
+        /// The else-branch statements (must diverge in valid Rust).
+        els: Vec<Stmt>,
+    },
+    /// A plain statement or tail expression.
+    Expr {
+        /// The statement's tokens (`;` included when present).
+        range: Range<usize>,
+        /// Whether this is the block's tail expression (no `;`).
+        tail: bool,
+    },
+    /// A bare `{ ... }` (or `unsafe { ... }`) block statement.
+    Block(Vec<Stmt>),
+}
+
+/// Parses a function body (token range inclusive of braces) into a
+/// statement tree.
+pub fn parse_fn_body(file: &SourceFile, body: &Range<usize>) -> Vec<Stmt> {
+    let interior: Vec<usize> = (body.start + 1..body.end.saturating_sub(1))
+        .filter(|&i| file.toks[i].kind != TokKind::Comment)
+        .collect();
+    Parser { file, code: &interior, pos: 0 }.stmts()
+}
+
+/// Whether token `b` starts at the byte right after `a` ends — how the
+/// single-char-punct lexer output distinguishes `=>`/`==`/`<<` from
+/// separated characters.
+pub fn glued(a: &Tok, b: &Tok) -> bool {
+    a.off + a.text.len() == b.off
+}
+
+/// First line on which `name` appears as a code identifier in `r`.
+pub fn ident_in(file: &SourceFile, r: &Range<usize>, name: &str) -> Option<u32> {
+    (r.start..r.end.min(file.toks.len()))
+        .map(|i| &file.toks[i])
+        .find(|t| t.kind != TokKind::Comment && t.is_ident(name))
+        .map(|t| t.line)
+}
+
+/// First call site `name(` in `r` for any name in `names`; returns the
+/// line and matched name.
+pub fn call_in(file: &SourceFile, r: &Range<usize>, names: &[&str]) -> Option<(u32, String)> {
+    let idx: Vec<usize> = (r.start..r.end.min(file.toks.len()))
+        .filter(|&i| file.toks[i].kind != TokKind::Comment)
+        .collect();
+    for w in 0..idx.len().saturating_sub(1) {
+        let t = &file.toks[idx[w]];
+        if t.kind == TokKind::Ident
+            && names.contains(&t.text.as_str())
+            && file.toks[idx[w + 1]].is_punct('(')
+            && !(w > 0 && file.toks[idx[w - 1]].is_ident("fn"))
+        {
+            return Some((t.line, t.text.clone()));
+        }
+    }
+    None
+}
+
+/// Whether `r` contains a `<<` shift (two glued `<` puncts).
+pub fn shl_in(file: &SourceFile, r: &Range<usize>) -> bool {
+    let idx: Vec<usize> = (r.start..r.end.min(file.toks.len()))
+        .filter(|&i| file.toks[i].kind != TokKind::Comment)
+        .collect();
+    idx.windows(2).any(|w| {
+        let (a, b) = (&file.toks[w[0]], &file.toks[w[1]]);
+        a.is_punct('<') && b.is_punct('<') && glued(a, b)
+    })
+}
+
+/// Identifiers that open an item, not a statement, inside a body.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "use",
+    "type",
+    "const",
+    "static",
+    "macro_rules",
+    "extern",
+];
+
+struct Parser<'a> {
+    file: &'a SourceFile,
+    code: &'a [usize],
+    pos: usize,
+}
+
+/// What terminates the header scan before a `{` body.
+enum Header {
+    /// `if`/`while`: optional `let` pattern, then the condition.
+    Cond,
+    /// `for`: pattern until `in`, then the iterator expression.
+    For,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, j: usize) -> Option<&Tok> {
+        self.code.get(j).map(|&ti| &self.file.toks[ti])
+    }
+
+    fn cur(&self) -> Option<&Tok> {
+        self.tok(self.pos)
+    }
+
+    /// Token-index range covering code positions `a..b`.
+    fn range(&self, a: usize, b: usize) -> Range<usize> {
+        if a >= self.code.len() || a >= b {
+            return 0..0;
+        }
+        self.code[a]..self.code[b.min(self.code.len()) - 1] + 1
+    }
+
+    fn stmts(&mut self) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while self.pos < self.code.len() {
+            let before = self.pos;
+            if let Some(s) = self.stmt() {
+                out.push(s);
+            }
+            if self.pos == before {
+                self.pos += 1; // never stall on malformed input
+            }
+        }
+        out
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let t = self.cur()?;
+        if t.is_ident("if") {
+            return Some(self.parse_if());
+        }
+        if t.is_ident("match") {
+            return Some(self.parse_match());
+        }
+        if t.is_ident("loop") {
+            self.pos += 1;
+            return Some(Stmt::Loop { body: self.braced(), zero_iters: false });
+        }
+        if t.is_ident("while") {
+            self.pos += 1;
+            self.skip_header(Header::Cond);
+            return Some(Stmt::Loop { body: self.braced(), zero_iters: true });
+        }
+        if t.is_ident("for") {
+            self.pos += 1;
+            self.skip_header(Header::For);
+            return Some(Stmt::Loop { body: self.braced(), zero_iters: true });
+        }
+        if t.is_ident("return") {
+            let (range, _) = self.expr_stmt();
+            return Some(Stmt::Return { range });
+        }
+        if t.is_ident("break") {
+            let (range, _) = self.expr_stmt();
+            return Some(Stmt::Break { range });
+        }
+        if t.is_ident("continue") {
+            let _ = self.expr_stmt();
+            return Some(Stmt::Continue);
+        }
+        if t.is_ident("let") {
+            return Some(self.parse_let());
+        }
+        if t.is_punct('{') {
+            return Some(Stmt::Block(self.braced()));
+        }
+        if t.is_ident("unsafe") && self.tok(self.pos + 1).is_some_and(|n| n.is_punct('{')) {
+            self.pos += 1;
+            return Some(Stmt::Block(self.braced()));
+        }
+        if ITEM_KEYWORDS.contains(&t.text.as_str()) && t.kind == TokKind::Ident {
+            self.skip_item();
+            return None;
+        }
+        let (range, tail) = self.expr_stmt();
+        Some(Stmt::Expr { range, tail })
+    }
+
+    /// Scans a plain statement to its `;` at depth 0 (or the block
+    /// end → tail). Returns the covered range and the tail flag.
+    fn expr_stmt(&mut self) -> (Range<usize>, bool) {
+        let start = self.pos;
+        let mut depth = 0i64;
+        while let Some(t) = self.cur() {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                self.pos += 1;
+                return (self.range(start, self.pos), false);
+            }
+            self.pos += 1;
+        }
+        (self.range(start, self.pos), true)
+    }
+
+    /// Position (in `code`) of the `}` matching the `{` at `open`.
+    fn close_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for j in open..self.code.len() {
+            let t = self.tok(j)?;
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    /// Parses `{ ... }` at the cursor into statements; empty on
+    /// malformed input.
+    fn braced(&mut self) -> Vec<Stmt> {
+        if !self.cur().is_some_and(|t| t.is_punct('{')) {
+            return Vec::new();
+        }
+        let Some(close) = self.close_brace(self.pos) else {
+            self.pos = self.code.len();
+            return Vec::new();
+        };
+        let interior = &self.code[self.pos + 1..close];
+        let stmts = Parser { file: self.file, code: interior, pos: 0 }.stmts();
+        self.pos = close + 1;
+        stmts
+    }
+
+    /// Advances to the body `{` of an `if`/`while`/`for` header.
+    ///
+    /// Struct-pattern braces (`if let Msg::Invoke(Invoke { .. }) = m`)
+    /// only occur in the pattern region — before `=` (for `let`) or
+    /// before `in` (for `for`). Rust bans struct literals in condition
+    /// position, so after the pattern region the first depth-0 `{` is
+    /// the block.
+    fn skip_header(&mut self, kind: Header) {
+        let mut depth = 0i64;
+        let mut pattern = match kind {
+            Header::Cond => {
+                if self.cur().is_some_and(|t| t.is_ident("let")) {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Header::For => true,
+        };
+        while self.pos < self.code.len() {
+            let t = &self.file.toks[self.code[self.pos]];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') {
+                if depth == 0 && !pattern {
+                    return; // the block opener
+                }
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if pattern && depth == 0 {
+                match kind {
+                    Header::Cond => {
+                        if t.is_punct('=') && self.eq_is_assignment() {
+                            pattern = false;
+                        }
+                    }
+                    Header::For => {
+                        if t.is_ident("in") {
+                            pattern = false;
+                        }
+                    }
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Whether the `=` at the cursor is a lone assignment/binding `=`
+    /// (not half of `==`, `<=`, `>=`, `!=`, `=>`).
+    fn eq_is_assignment(&self) -> bool {
+        let cur = self.tok(self.pos).expect("caller checked");
+        if let Some(next) = self.tok(self.pos + 1) {
+            if (next.is_punct('=') || next.is_punct('>')) && glued(cur, next) {
+                return false;
+            }
+        }
+        if self.pos > 0 {
+            if let Some(prev) = self.tok(self.pos - 1) {
+                let cmp = prev.is_punct('<')
+                    || prev.is_punct('>')
+                    || prev.is_punct('!')
+                    || prev.is_punct('=');
+                if cmp && glued(prev, cur) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn parse_if(&mut self) -> Stmt {
+        self.pos += 1; // `if`
+        let cond_start = self.pos;
+        self.skip_header(Header::Cond);
+        let cond = self.range(cond_start, self.pos);
+        let then = self.braced();
+        let els = if self.cur().is_some_and(|t| t.is_ident("else")) {
+            self.pos += 1;
+            if self.cur().is_some_and(|t| t.is_ident("if")) {
+                Some(vec![self.parse_if()])
+            } else {
+                Some(self.braced())
+            }
+        } else {
+            None
+        };
+        Stmt::If { cond, then, els }
+    }
+
+    fn parse_match(&mut self) -> Stmt {
+        self.pos += 1; // `match`
+        let head_start = self.pos;
+        self.skip_header(Header::Cond);
+        let head = self.range(head_start, self.pos);
+        let Some(close) = self.close_brace(self.pos) else {
+            self.pos = self.code.len();
+            return Stmt::Match { head, arms: Vec::new() };
+        };
+        self.pos += 1; // `{`
+        let mut arms = Vec::new();
+        while self.pos < close {
+            // Skip the pattern (and guard) to the `=>`.
+            let mut depth = 0i64;
+            let mut found_arrow = false;
+            while self.pos < close {
+                let t = &self.file.toks[self.code[self.pos]];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('=') {
+                    if let Some(next) = self.tok(self.pos + 1) {
+                        if next.is_punct('>') && glued(t, next) {
+                            self.pos += 2;
+                            found_arrow = true;
+                            break;
+                        }
+                    }
+                }
+                self.pos += 1;
+            }
+            if !found_arrow || self.pos >= close {
+                break;
+            }
+            // The arm body: a block, a block-ish expression, or a plain
+            // expression up to the arm comma.
+            let body = if self.cur().is_some_and(|t| t.is_punct('{')) {
+                self.braced()
+            } else if self.cur().is_some_and(|t| {
+                t.is_ident("if")
+                    || t.is_ident("match")
+                    || t.is_ident("loop")
+                    || t.is_ident("while")
+                    || t.is_ident("unsafe")
+            }) {
+                self.stmt().into_iter().collect()
+            } else {
+                let start = self.pos;
+                let mut depth = 0i64;
+                while self.pos < close {
+                    let t = &self.file.toks[self.code[self.pos]];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(',') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let interior = &self.code[start..self.pos];
+                Parser { file: self.file, code: interior, pos: 0 }.stmts()
+            };
+            if self.cur().is_some_and(|t| t.is_punct(',')) && self.pos < close {
+                self.pos += 1;
+            }
+            arms.push(body);
+        }
+        self.pos = close + 1;
+        Stmt::Match { head, arms }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let start = self.pos;
+        self.pos += 1; // `let`
+        let mut depth = 0i64;
+        let mut saw_eq = false;
+        let mut saw_block_expr = false;
+        while self.pos < self.code.len() {
+            let t = &self.file.toks[self.code[self.pos]];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') {
+                if saw_eq && depth == 0 {
+                    // `let x = if .. { .. }` / struct literal / block:
+                    // the initializer ends with `}`, so a following
+                    // `else` belongs to that expression, not let-else.
+                    saw_block_expr = true;
+                }
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 {
+                if t.is_punct(';') {
+                    self.pos += 1;
+                    return Stmt::Expr { range: self.range(start, self.pos), tail: false };
+                }
+                if !saw_eq && t.is_punct('=') && self.eq_is_assignment() {
+                    saw_eq = true;
+                } else if saw_eq
+                    && !saw_block_expr
+                    && (t.is_ident("if")
+                        || t.is_ident("match")
+                        || t.is_ident("loop")
+                        || t.is_ident("while")
+                        || t.is_ident("unsafe"))
+                {
+                    saw_block_expr = true;
+                } else if saw_eq && !saw_block_expr && t.is_ident("else") {
+                    let range = self.range(start, self.pos);
+                    self.pos += 1; // `else`
+                    let els = self.braced();
+                    if self.cur().is_some_and(|t| t.is_punct(';')) {
+                        self.pos += 1;
+                    }
+                    return Stmt::LetElse { range, els };
+                }
+            }
+            self.pos += 1;
+        }
+        Stmt::Expr { range: self.range(start, self.pos), tail: true }
+    }
+
+    /// Skips a nested item (`fn`, `struct`, `use`, ...): to its body's
+    /// matching `}` or the terminating `;`, whichever comes first.
+    fn skip_item(&mut self) {
+        let mut depth = 0i64;
+        while self.pos < self.code.len() {
+            let t = &self.file.toks[self.code[self.pos]];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                if let Some(close) = self.close_brace(self.pos) {
+                    self.pos = close + 1;
+                } else {
+                    self.pos = self.code.len();
+                }
+                return;
+            } else if depth == 0 && t.is_punct(';') {
+                self.pos += 1;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> (SourceFile, Vec<Stmt>) {
+        let src = format!("fn f() {body}\n");
+        let f = SourceFile::new("x.rs", src);
+        let range = f.fn_body("f").expect("body");
+        let stmts = parse_fn_body(&f, &range);
+        (f, stmts)
+    }
+
+    #[test]
+    fn if_let_struct_pattern_finds_the_block() {
+        let (f, s) =
+            parse("{ if let ClientCmd::Write { value, .. } = &cmd { reject(value); } done(); }");
+        assert_eq!(s.len(), 2, "{s:?}");
+        let Stmt::If { cond, then, els } = &s[0] else { panic!("{s:?}") };
+        assert!(ident_in(&f, cond, "cmd").is_some());
+        assert_eq!(then.len(), 1);
+        assert!(els.is_none());
+        assert!(matches!(&s[1], Stmt::Expr { tail: false, .. }));
+    }
+
+    #[test]
+    fn else_if_chain_nests() {
+        let (_, s) = parse("{ if a { x(); } else if b { y(); } else { z(); } }");
+        let Stmt::If { els: Some(els), .. } = &s[0] else { panic!("{s:?}") };
+        let Stmt::If { els: Some(inner), .. } = &els[0] else { panic!("{els:?}") };
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn match_arms_with_and_without_braces() {
+        let (f, s) = parse(
+            "{ match m { Msg::A(Inner { x }) => { one(); two(); } Msg::B if g => short(), \
+             _ => return Err(e), } }",
+        );
+        let Stmt::Match { arms, head } = &s[0] else { panic!("{s:?}") };
+        assert_eq!(arms.len(), 3, "{arms:?}");
+        assert!(ident_in(&f, head, "m").is_some());
+        assert_eq!(arms[0].len(), 2);
+        assert_eq!(arms[1].len(), 1);
+        assert!(matches!(&arms[2][0], Stmt::Return { .. }), "{:?}", arms[2]);
+    }
+
+    #[test]
+    fn let_else_is_distinguished_from_if_else_initializers() {
+        let (f, s) = parse(
+            "{ let x = if c { 1 } else { 2 }; let Some(h) = host.as_ref() else { \
+             cleanup(); return Err(Closed); }; use_it(h); }",
+        );
+        assert_eq!(s.len(), 3, "{s:?}");
+        assert!(matches!(&s[0], Stmt::Expr { tail: false, .. }), "{:?}", s[0]);
+        let Stmt::LetElse { range, els } = &s[1] else { panic!("{:?}", s[1]) };
+        assert!(ident_in(&f, range, "host").is_some());
+        assert_eq!(els.len(), 2);
+        assert!(matches!(&els[1], Stmt::Return { .. }));
+    }
+
+    #[test]
+    fn loops_and_tail_expressions() {
+        let (_, s) = parse(
+            "{ while let Some(x) = it.next() { work(x); } loop { if done { break; } } \
+             for q in queues.iter() { q.poke(); } result }",
+        );
+        assert_eq!(s.len(), 4, "{s:?}");
+        assert!(matches!(&s[0], Stmt::Loop { zero_iters: true, .. }));
+        assert!(matches!(&s[1], Stmt::Loop { zero_iters: false, .. }));
+        assert!(matches!(&s[2], Stmt::Loop { zero_iters: true, .. }));
+        assert!(matches!(&s[3], Stmt::Expr { tail: true, .. }));
+    }
+
+    #[test]
+    fn nested_items_are_skipped() {
+        let (_, s) = parse("{ struct Local { a: u32 } const K: u32 = 1; run(); }");
+        assert_eq!(s.len(), 1, "only the call survives: {s:?}");
+    }
+
+    #[test]
+    fn shl_detection_requires_glued_angles() {
+        let (f, s) = parse("{ let d = base << n; let v: Vec<Vec<u8>> = make(); }");
+        let Stmt::Expr { range, .. } = &s[0] else { panic!() };
+        assert!(shl_in(&f, range));
+        let Stmt::Expr { range, .. } = &s[1] else { panic!() };
+        assert!(!shl_in(&f, range), "generic angle brackets are separated by idents");
+    }
+}

@@ -18,8 +18,23 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// The stable identifiers of the shipped rules.
-pub const RULE_NAMES: &[&str] =
-    &["msg-surface", "net-panic", "loop-blocking", "unsafe-safety", "drift", "bad-allow"];
+pub const RULE_NAMES: &[&str] = &[
+    "msg-surface",
+    "net-panic",
+    "loop-blocking",
+    "loop-blocking-transitive",
+    "lock-order",
+    "retry-backoff",
+    "completion-once",
+    "unsafe-safety",
+    "drift",
+    "bad-allow",
+    "stale-allow",
+];
+
+/// Meta-rules that audit the annotation layer itself; they cannot be
+/// `allow`ed (the escape hatch must not mute its own auditor).
+pub const META_RULES: &[&str] = &["bad-allow", "stale-allow"];
 
 /// One lint finding, printed as `path:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,11 +55,33 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One well-formed `lint: allow(rule, reason = "...")` annotation.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The suppressed rule's name.
+    pub rule: String,
+    /// The audited justification text.
+    pub reason: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// Lines on which this annotation suppresses findings: its own line
+    /// (trailing style) and the next (preceding-line style).
+    pub fn covered_lines(&self) -> [u32; 2] {
+        [self.line, self.line + 1]
+    }
+}
+
 /// Parsed allow annotations for one file: rule name → lines on which
 /// findings for that rule are suppressed.
 #[derive(Debug, Default)]
 pub struct Allows {
     by_rule: HashMap<String, Vec<u32>>,
+    /// Every well-formed annotation, in line order — the substrate for
+    /// `--allows` listings and the `stale-allow` audit.
+    pub entries: Vec<AllowEntry>,
     /// Malformed annotations, reported as `bad-allow` findings.
     pub bad: Vec<Finding>,
 }
@@ -81,7 +118,7 @@ impl Allows {
                 Some((r, rest)) => (r.trim(), Some(rest.trim())),
                 None => (inner.trim(), None),
             };
-            if !RULE_NAMES.contains(&rule_part) || rule_part == "bad-allow" {
+            if !RULE_NAMES.contains(&rule_part) || META_RULES.contains(&rule_part) {
                 allows.bad.push(Finding {
                     rule: "bad-allow",
                     file: file.path.clone(),
@@ -90,12 +127,13 @@ impl Allows {
                 });
                 continue;
             }
-            let reason_ok = reason_part
+            let reason = reason_part
                 .and_then(|r| r.strip_prefix("reason"))
                 .map(|r| r.trim_start().trim_start_matches('='))
                 .map(|r| r.trim().trim_matches('"').trim())
-                .is_some_and(|r| !r.is_empty());
-            if !reason_ok {
+                .filter(|r| !r.is_empty())
+                .map(str::to_string);
+            let Some(reason) = reason else {
                 allows.bad.push(Finding {
                     rule: "bad-allow",
                     file: file.path.clone(),
@@ -106,14 +144,12 @@ impl Allows {
                     ),
                 });
                 continue;
-            }
+            };
             // An annotation suppresses findings on its own line (trailing
             // comment style) and on the next line (preceding-line style).
-            allows
-                .by_rule
-                .entry(rule_part.to_string())
-                .or_default()
-                .extend([tok.line, tok.line + 1]);
+            let entry = AllowEntry { rule: rule_part.to_string(), reason, line: tok.line };
+            allows.by_rule.entry(rule_part.to_string()).or_default().extend(entry.covered_lines());
+            allows.entries.push(entry);
         }
         allows
     }
@@ -187,6 +223,26 @@ mod tests {
         let out = a.filter(raw);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "bad-allow");
+    }
+
+    #[test]
+    fn entries_record_rule_reason_and_extent() {
+        let f = file("// lint: allow(net-panic, reason = \"len checked above\")\nfoo.unwrap();\n");
+        let a = Allows::collect(&f);
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].rule, "net-panic");
+        assert_eq!(a.entries[0].reason, "len checked above");
+        assert_eq!(a.entries[0].covered_lines(), [1, 2]);
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_allowed() {
+        for rule in ["bad-allow", "stale-allow"] {
+            let src = format!("// lint: allow({rule}, reason = \"nope\")\n");
+            let a = Allows::collect(&file(&src));
+            assert_eq!(a.bad.len(), 1, "{rule} must not be allowable");
+            assert!(a.entries.is_empty());
+        }
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub enum TokKind {
     Comment,
 }
 
-/// One token: kind, verbatim text, and the 1-based line it starts on.
+/// One token: kind, verbatim text, the 1-based line it starts on, and
+/// the byte offset of its first character in the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     /// The lexeme class.
@@ -43,6 +44,10 @@ pub struct Tok {
     pub text: String,
     /// 1-based line number of the token's first character.
     pub line: u32,
+    /// Byte offset of the token's first character: `src[off..off +
+    /// text.len()] == text` always holds (the round-trip property the
+    /// scanner hardening suite checks).
+    pub off: usize,
 }
 
 impl Tok {
@@ -60,13 +65,18 @@ impl Tok {
 /// Lexes `src` into a token stream. Never fails: bytes that fit no rule
 /// become single-character `Punct` tokens.
 pub fn lex(src: &str) -> Vec<Tok> {
-    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, byte: 0, start: 0, out: Vec::new() }
+        .run()
 }
 
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    /// Byte offset of the cursor (chars advance it by their UTF-8 len).
+    byte: usize,
+    /// Byte offset where the token under construction began.
+    start: usize,
     out: Vec<Tok>,
 }
 
@@ -75,7 +85,7 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consumes one char, tracking line numbers.
+    /// Consumes one char, tracking line numbers and byte offsets.
     fn bump(&mut self, buf: &mut String) {
         if let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -83,16 +93,19 @@ impl Lexer {
             }
             buf.push(c);
             self.pos += 1;
+            self.byte += c.len_utf8();
         }
     }
 
     fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.push(Tok { kind, text, line });
+        let off = self.start;
+        self.out.push(Tok { kind, text, line, off });
     }
 
     fn run(mut self) -> Vec<Tok> {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            self.start = self.byte;
             match c {
                 c if c.is_whitespace() => {
                     let mut sink = String::new();
@@ -389,6 +402,14 @@ mod tests {
         // Never panics, always returns. Unterminated constructs included.
         for src in ["\"unterminated", "/* open", "r#\"open", "'", "§§§", ""] {
             let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn offsets_round_trip_including_multibyte() {
+        let src = "let s = \"héllo\"; // commént §\nfn f() { s.len() }\n";
+        for t in lex(src) {
+            assert_eq!(&src[t.off..t.off + t.text.len()], t.text, "offset desync at {t:?}");
         }
     }
 

@@ -1,28 +1,43 @@
 //! `ares-lint` — workspace-native static analysis for the ARES runtime.
 //!
-//! Four analyses, all lexical (hand-rolled lexer + item scanner; no
-//! crates.io in this environment, so no syn/dylint), each protecting a
+//! Nine analyses over a hand-rolled lexer (no crates.io in this
+//! environment, so no syn/dylint): five lexical, four *semantic* —
+//! built on a workspace function inventory ([`model`]), a
+//! conservatively name-resolved call graph ([`callgraph`]), and an
+//! expression-level statement parser ([`ast`]). Each protects a
 //! distributed-systems invariant the type system cannot see:
 //!
-//! | rule            | invariant                                               |
-//! |-----------------|---------------------------------------------------------|
-//! | `msg-surface`   | every `Msg` variant classified on every parallel surface |
-//! | `net-panic`     | hostile bytes cannot panic the process                  |
-//! | `loop-blocking` | shard event loops never block                           |
-//! | `unsafe-safety` | every `unsafe` region carries a safety argument         |
-//! | `drift`         | no `todo!`/`unimplemented!`/`dbg!` in production code   |
+//! | rule                       | invariant                                                |
+//! |----------------------------|----------------------------------------------------------|
+//! | `msg-surface`              | every `Msg` variant classified on every parallel surface |
+//! | `net-panic`                | hostile bytes cannot panic the process                   |
+//! | `loop-blocking`            | shard event loops never block (direct sites)             |
+//! | `loop-blocking-transitive` | ...nor through any first-party call chain                |
+//! | `lock-order`               | the static lock-acquisition graph is acyclic             |
+//! | `retry-backoff`            | timers re-armed on the retry path grow exponentially     |
+//! | `completion-once`          | registered completion cells resolve exactly once per path|
+//! | `unsafe-safety`            | every `unsafe` region carries a safety argument          |
+//! | `drift`                    | no `todo!`/`unimplemented!`/`dbg!` in production code    |
 //!
 //! Audited exceptions use `// lint: allow(<rule>, reason = "...")` on
 //! the offending line or the line above; malformed annotations are
-//! themselves findings (`bad-allow`). See DESIGN.md §10 for the
-//! invariant catalogue.
+//! themselves findings (`bad-allow`), and annotations whose covered
+//! lines no longer trip the named rule are findings too
+//! (`stale-allow`) — the escape hatch can neither rot into a blanket
+//! mute nor outlive its cause. See DESIGN.md §10 for the invariant
+//! catalogue.
 
+pub mod ast;
+pub mod callgraph;
 pub mod findings;
+pub mod json;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
 
+use callgraph::Analysis;
 use findings::{Allows, Finding};
 use rules::msg_surface::{Locator, Surface, SurfaceSpec};
 use scan::SourceFile;
@@ -102,39 +117,90 @@ pub fn canonical_surface_spec() -> SurfaceSpec {
 /// Runs every enabled rule over `files` and applies per-file allow
 /// annotations. `rule` restricts the run to one rule name (`None` =
 /// all); `bad-allow` findings surface whenever their file is scanned.
+///
+/// `stale-allow` needs the *raw* findings of every other rule (an
+/// annotation is stale when nothing it covers still trips), so enabling
+/// it computes all rules and then emits only the enabled ones.
 pub fn run(files: &[SourceFile], rule: Option<&str>) -> Vec<Finding> {
     let enabled = |name: &str| rule.is_none_or(|r| r == name);
+    // What must be *computed* (superset of what is emitted).
+    let compute = |name: &str| enabled(name) || enabled("stale-allow");
     let by_path: HashMap<String, &SourceFile> = files.iter().map(|f| (f.path.clone(), f)).collect();
 
     let mut raw = Vec::new();
-    if enabled("msg-surface") {
+    if compute("msg-surface") {
         raw.extend(rules::msg_surface::check(&by_path, &canonical_surface_spec()));
     }
     for f in files {
-        if enabled("net-panic") && PANIC_SCOPE.contains(&f.path.as_str()) {
+        if compute("net-panic") && PANIC_SCOPE.contains(&f.path.as_str()) {
             raw.extend(rules::panic_path::check(f));
         }
-        if enabled("loop-blocking") && f.path == EVENT_LOOP_FILE {
+        if compute("loop-blocking") && f.path == EVENT_LOOP_FILE {
             raw.extend(rules::blocking::check(f, EVENT_LOOP_FNS));
         }
-        if enabled("unsafe-safety") {
+        if compute("unsafe-safety") {
             raw.extend(rules::unsafety::check(f));
         }
-        if enabled("drift") {
+        if compute("drift") {
             raw.extend(rules::drift::check(f));
         }
     }
 
+    // The interprocedural rules share one analysis build.
+    let needs_analysis =
+        ["loop-blocking-transitive", "lock-order", "retry-backoff", "completion-once"]
+            .iter()
+            .any(|r| compute(r));
+    if needs_analysis {
+        let a = Analysis::build(files);
+        if compute("loop-blocking-transitive") {
+            raw.extend(rules::blocking_transitive::check(&a, EVENT_LOOP_FILE, EVENT_LOOP_FNS));
+        }
+        if compute("lock-order") {
+            raw.extend(rules::lock_order::check(&a));
+        }
+        if compute("retry-backoff") {
+            raw.extend(rules::retry_backoff::check(&a));
+        }
+        if compute("completion-once") {
+            raw.extend(rules::completion_once::check(&a));
+        }
+    }
+
     // Allow-annotation pass: suppress covered findings, surface
-    // malformed annotations.
+    // malformed annotations, and audit annotations for staleness
+    // against the raw (pre-suppression) findings.
     let allows: HashMap<&str, Allows> =
         files.iter().map(|f| (f.path.as_str(), Allows::collect(f))).collect();
     let mut out: Vec<Finding> = raw
-        .into_iter()
+        .iter()
+        .filter(|f| enabled(f.rule))
         .filter(|f| !allows.get(f.file.as_str()).is_some_and(|a| a.covers(f.rule, f.line)))
+        .cloned()
         .collect();
     if enabled("bad-allow") {
         out.extend(allows.values().flat_map(|a| a.bad.iter().cloned()));
+    }
+    if enabled("stale-allow") {
+        for (path, a) in &allows {
+            for e in &a.entries {
+                let live = raw.iter().any(|f| {
+                    f.rule == e.rule && f.file == *path && e.covered_lines().contains(&f.line)
+                });
+                if !live {
+                    out.push(Finding {
+                        rule: "stale-allow",
+                        file: (*path).to_string(),
+                        line: e.line,
+                        msg: format!(
+                            "allow({}) no longer suppresses anything — the covered lines do not \
+                             trip the rule; remove the annotation (reason was: \"{}\")",
+                            e.rule, e.reason
+                        ),
+                    });
+                }
+            }
+        }
     }
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     out

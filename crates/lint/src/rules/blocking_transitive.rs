@@ -1,0 +1,140 @@
+//! Rule `loop-blocking-transitive`: no blocking call *reachable* from a
+//! shard event loop through any first-party call chain.
+//!
+//! The direct `loop-blocking` rule only sees the loop bodies
+//! themselves; `event_loop → helper → flush()` slips straight past it.
+//! This rule walks the call graph from the event-loop functions and
+//! flags every blocking-vocabulary call site in the reachable set that
+//! does **not** resolve to a first-party function — resolved calls are
+//! descents the walk already follows, so each finding lands on the one
+//! leaf site where the thread would actually park, with the call chain
+//! that reaches it.
+//!
+//! Spawned closures are excluded by construction (the call graph drops
+//! them): a writer thread may block; the shard thread that spawned it
+//! must not.
+
+use crate::callgraph::Analysis;
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::rules::blocking::BLOCKING_CALLS;
+use std::collections::BTreeMap;
+
+/// Runs the rule: `loop_fns` in `loop_file` are the roots.
+pub fn check(a: &Analysis<'_>, loop_file: &str, loop_fns: &[&str]) -> Vec<Finding> {
+    let mut roots = Vec::new();
+    for name in loop_fns {
+        // A missing root is the direct rule's finding; stay silent here.
+        roots.extend(a.find_fns(loop_file, name));
+    }
+    let (reach, parent) = a.reachable(&roots);
+
+    // (file, line, callee name) → shortest chain; BFS order makes the
+    // first chain recorded the shortest.
+    let mut sites: BTreeMap<(String, u32, String), Vec<String>> = BTreeMap::new();
+    let mut order: Vec<(String, u32, String)> = Vec::new();
+    let mut reach: Vec<usize> = reach.into_iter().collect();
+    reach.sort_unstable();
+    for f in reach {
+        if roots.contains(&f) {
+            continue; // direct sites are `loop-blocking`'s findings
+        }
+        let file = &a.files[a.fns[f].file];
+        let idx = &a.body_idx[f];
+        for w in 0..idx.len().saturating_sub(1) {
+            let t = &file.toks[idx[w]];
+            if t.kind != TokKind::Ident
+                || !BLOCKING_CALLS.contains(&t.text.as_str())
+                || !file.toks[idx[w + 1]].is_punct('(')
+                || (w > 0 && file.toks[idx[w - 1]].is_ident("fn"))
+            {
+                continue;
+            }
+            if a.site_resolves(f, idx[w]) {
+                continue; // a first-party descent, not a leaf effect
+            }
+            let key = (file.path.clone(), t.line, t.text.clone());
+            if !sites.contains_key(&key) {
+                let chain = a.chain(&parent, f);
+                sites.insert(key.clone(), chain);
+                order.push(key);
+            }
+        }
+    }
+
+    order
+        .into_iter()
+        .map(|(path, line, name)| {
+            let chain = sites[&(path.clone(), line, name.clone())].join(" → ");
+            Finding {
+                rule: "loop-blocking-transitive",
+                file: path,
+                line,
+                msg: format!(
+                    "blocking call `{name}()` reachable from a shard event loop via `{chain}` — \
+                     a transitively stalled shard thread back-pressures every connection routed \
+                     to it"
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    const LOOP_FILE: &str = "crates/net/src/host.rs";
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new(LOOP_FILE, src)];
+        let a = Analysis::build(&files);
+        check(&a, LOOP_FILE, &["event_loop", "apply"])
+    }
+
+    #[test]
+    fn transitive_blocking_call_fires_with_chain() {
+        let out = run("fn event_loop() { apply(); }\n\
+             fn apply(p: &PeerPool) { p.send(1); }\n\
+             impl PeerPool { fn send(&self, x: u32) { self.sock.flush(); } }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("flush"), "{}", out[0].msg);
+        // `apply` is itself a root, so the shortest chain starts there.
+        assert!(out[0].msg.contains("apply → send"), "{}", out[0].msg);
+    }
+
+    #[test]
+    fn direct_sites_belong_to_the_direct_rule() {
+        let out = run("fn event_loop(rx: R) { rx.recv(); }\nfn apply() {}\n");
+        assert_eq!(out, vec![], "direct recv is loop-blocking's finding, not ours");
+    }
+
+    #[test]
+    fn spawned_writer_does_not_count() {
+        let out = run("fn event_loop() { start(); }\n\
+             fn start() { std::thread::spawn(move || writer_loop()); }\n\
+             fn writer_loop() { sock.write_all(b); std::thread::sleep(d); }\n");
+        assert_eq!(out, vec![], "the writer blocks on its own thread: {out:?}");
+    }
+
+    #[test]
+    fn resolved_first_party_lock_descends_to_the_leaf() {
+        let files = vec![
+            SourceFile::new(
+                LOOP_FILE,
+                "fn event_loop() { apply(); }\nfn apply() { crate::sync::lock(&S); }\n",
+            ),
+            SourceFile::new(
+                "crates/net/src/sync.rs",
+                "pub fn lock<T>(m: &Mutex<T>) -> Guard<T> { m.lock().unwrap_or_else(|p| p.into_inner()) }\n",
+            ),
+        ];
+        let a = Analysis::build(&files);
+        let out = check(&a, LOOP_FILE, &["event_loop", "apply"]);
+        // One finding at the sync.rs chokepoint, not at the call site.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/net/src/sync.rs");
+        assert!(out[0].msg.contains("apply → lock"), "{}", out[0].msg);
+    }
+}

@@ -1,0 +1,457 @@
+//! Rule `completion-once`: every completion cell a function registers
+//! in shared state must be resolved exactly once on every path.
+//!
+//! The runtime's submit path is the motivating shape: `submit`
+//! constructs a `TicketCell`, inserts it into the shared router map,
+//! and from that point *every* exit must either remove it again (the
+//! error paths), complete/poison it, or hand it to the caller inside
+//! the returned ticket (which later withdraws it). A path that exits
+//! while the cell sits in the router unresolved is the PR 4 class of
+//! hang: a waiter parked forever on a completion nobody owns. A path
+//! that resolves twice corrupts the routing bookkeeping.
+//!
+//! The rule abstractly interprets each constructing function's
+//! statement tree. A cell's state is one of: constructed (private),
+//! registered with 0/1/2+ resolutions. Registration is an `insert(...)`
+//! mentioning the cell (its first argument names the map key);
+//! resolutions are `remove(...)` of that key or `complete`/`poison`
+//! calls on the cell; returning or yielding the cell transfers
+//! ownership and counts as its resolution. Diverging statements
+//! (`panic!`, `unreachable!`) end their path unrecorded — panics are
+//! `net-panic`'s findings. At every recorded exit (`return`, `?`,
+//! function end) a registered-unresolved state is a leak; a
+//! twice-resolved state is a double resolve.
+
+use crate::ast::{self, Stmt};
+use crate::callgraph::Analysis;
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Completion-sink types whose construction starts tracking.
+const COMPLETION_TYPES: &[&str] = &["TicketCell", "OpTicket"];
+
+/// Statement mentions that end a path without being an exit.
+const DIVERGES: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "abort"];
+
+/// Abstract cell state.
+const CONSTRUCTED: u8 = 0; // private: not yet in shared state
+const REG0: u8 = 1; // registered, unresolved
+const REG1: u8 = 2; // registered, resolved once (or transferred)
+const REG2: u8 = 3; // resolved twice or more
+
+type States = BTreeSet<u8>;
+
+/// Runs the rule over every first-party function.
+pub fn check(a: &Analysis<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in 0..a.fns.len() {
+        let file = &a.files[a.fns[f].file];
+        for (var, line) in constructs(file, &a.body_idx[f]) {
+            let stmts = ast::parse_fn_body(file, &a.fns[f].body);
+            let mut ev = Eval { file, var: var.clone(), key: None, exits: Vec::new() };
+            let end = ev.stmts(&stmts, [CONSTRUCTED].into(), &mut Vec::new());
+            if !end.is_empty() {
+                let end_line = file.toks[a.fns[f].body.end.saturating_sub(1)].line;
+                ev.exits.push((end, end_line));
+            }
+            let mut leak = None;
+            let mut twice = None;
+            for (states, at) in &ev.exits {
+                if states.contains(&REG0) && leak.is_none() {
+                    leak = Some(*at);
+                }
+                if states.contains(&REG2) && twice.is_none() {
+                    twice = Some(*at);
+                }
+            }
+            let fn_name = &a.fns[f].name;
+            if let Some(at) = leak {
+                out.push(Finding {
+                    rule: "completion-once",
+                    file: file.path.clone(),
+                    line: at,
+                    msg: format!(
+                        "`{var}` (constructed in `{fn_name}` at line {line}) is registered but \
+                         unresolved on the path exiting here — a waiter on that completion \
+                         parks forever"
+                    ),
+                });
+            }
+            if let Some(at) = twice {
+                out.push(Finding {
+                    rule: "completion-once",
+                    file: file.path.clone(),
+                    line: at,
+                    msg: format!(
+                        "`{var}` (constructed in `{fn_name}` at line {line}) can be resolved \
+                         more than once on the path exiting here"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `let v = <CompletionType>::new(...)` sites in an effective body:
+/// `(variable, line)`.
+fn constructs(file: &SourceFile, idx: &[usize]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for w in 0..idx.len().saturating_sub(3) {
+        let t = &file.toks[idx[w]];
+        if t.kind != TokKind::Ident || !COMPLETION_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over `let [mut] v =` (the `=` may be preceded by a
+        // type ascription we don't model; require the simple form).
+        let mut j = w;
+        while j > 0 && !file.toks[idx[j - 1]].is_ident("let") {
+            j -= 1;
+            if w - j > 6 {
+                break;
+            }
+        }
+        if j == 0 || !file.toks[idx[j - 1]].is_ident("let") {
+            continue;
+        }
+        let name = if file.toks[idx[j]].is_ident("mut") {
+            &file.toks[idx[j + 1]]
+        } else {
+            &file.toks[idx[j]]
+        };
+        if name.kind == TokKind::Ident {
+            out.push((name.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+struct Eval<'a> {
+    file: &'a SourceFile,
+    var: String,
+    /// The router-map key, learned at the registration site.
+    key: Option<String>,
+    /// Recorded exits: the states flowing out and the exit line.
+    exits: Vec<(States, u32)>,
+}
+
+impl Eval<'_> {
+    /// Evaluates a statement list; returns the states flowing out
+    /// normally. `breaks` collects states at `break` statements for the
+    /// innermost enclosing loop.
+    fn stmts(&mut self, stmts: &[Stmt], mut s: States, breaks: &mut Vec<States>) -> States {
+        for stmt in stmts {
+            if s.is_empty() {
+                break; // all paths ended
+            }
+            s = self.step(stmt, s, breaks);
+        }
+        s
+    }
+
+    fn step(&mut self, stmt: &Stmt, s: States, breaks: &mut Vec<States>) -> States {
+        match stmt {
+            Stmt::Expr { range, tail } => self.effects(range, s, *tail),
+            Stmt::Return { range } => {
+                let s = self.effects_no_exit(range, s);
+                let s = self.transfer_if_mentions(range, s);
+                self.record(s, self.line_of(range));
+                States::new()
+            }
+            Stmt::Break { range } => {
+                let s = self.effects_no_exit(range, s);
+                breaks.push(s);
+                States::new()
+            }
+            Stmt::Continue => States::new(),
+            Stmt::LetElse { range, els } => {
+                // The else branch sees the pre-binding states and must
+                // diverge; its returns record their own exits.
+                let _ = self.stmts(els, s.clone(), breaks);
+                self.effects(range, s, false)
+            }
+            Stmt::If { cond, then, els } => {
+                let s = self.effects_no_exit(cond, s);
+                let mut out = self.stmts(then, s.clone(), breaks);
+                match els {
+                    Some(e) => out.extend(self.stmts(e, s, breaks)),
+                    None => out.extend(s),
+                }
+                out
+            }
+            Stmt::Match { head, arms } => {
+                let s = self.effects_no_exit(head, s);
+                if arms.is_empty() {
+                    return s;
+                }
+                let mut out = States::new();
+                for arm in arms {
+                    out.extend(self.stmts(arm, s.clone(), breaks));
+                }
+                out
+            }
+            Stmt::Loop { body, zero_iters } => {
+                let mut acc = s.clone();
+                let mut my_breaks: Vec<States> = Vec::new();
+                // Fixpoint over the small state lattice.
+                loop {
+                    let out = self.stmts(body, acc.clone(), &mut my_breaks);
+                    let before = acc.len();
+                    acc.extend(out);
+                    if acc.len() == before {
+                        break;
+                    }
+                }
+                let mut exit: States = my_breaks.into_iter().flatten().collect();
+                if *zero_iters {
+                    // `while`/`for` exit at any iteration boundary.
+                    exit.extend(acc);
+                }
+                exit
+            }
+            Stmt::Block(inner) => self.stmts(inner, s, breaks),
+        }
+    }
+
+    /// Applies one plain statement: registration, resolution,
+    /// divergence, `?` exits, and (for tails) ownership transfer.
+    fn effects(&mut self, range: &Range<usize>, s: States, tail: bool) -> States {
+        let s = self.effects_no_exit(range, s);
+        if s.is_empty() {
+            return s;
+        }
+        if tail {
+            let s = self.transfer_if_mentions(range, s);
+            self.record(s, self.line_of(range));
+            return States::new();
+        }
+        s
+    }
+
+    /// Statement effects without treating the statement as an exit
+    /// (shared by conditions, scrutinees, and `return` interiors).
+    fn effects_no_exit(&mut self, range: &Range<usize>, s: States) -> States {
+        if range.is_empty() {
+            return s;
+        }
+        if DIVERGES.iter().any(|d| ast::ident_in(self.file, range, d).is_some()) {
+            return States::new(); // path ends; net-panic owns panics
+        }
+        let mentions_var = ast::ident_in(self.file, range, &self.var).is_some();
+        let mut s = s;
+        if ast::call_in(self.file, range, &["insert"]).is_some() && mentions_var {
+            if self.key.is_none() {
+                self.key = insert_key(self.file, range);
+            }
+            s = s.iter().map(|_| REG0).collect();
+        } else if self.is_resolution(range, mentions_var) {
+            s = s
+                .iter()
+                .map(|&st| match st {
+                    REG0 => REG1,
+                    REG1 | REG2 => REG2,
+                    other => other,
+                })
+                .collect();
+        }
+        // A `?` exits with the post-statement states and also falls
+        // through.
+        let has_q = (range.start..range.end.min(self.file.toks.len()))
+            .any(|i| self.file.toks[i].is_punct('?'));
+        if has_q {
+            self.record(s.clone(), self.line_of(range));
+        }
+        s
+    }
+
+    /// Whether the statement resolves the tracked cell: `remove` of its
+    /// key, or `complete`/`poison` naming the cell or key.
+    fn is_resolution(&self, range: &Range<usize>, mentions_var: bool) -> bool {
+        let mentions_key =
+            self.key.as_deref().is_some_and(|k| ast::ident_in(self.file, range, k).is_some());
+        if ast::call_in(self.file, range, &["remove"]).is_some() && mentions_key {
+            return true;
+        }
+        ast::call_in(self.file, range, &["complete", "poison"]).is_some()
+            && (mentions_var || mentions_key)
+    }
+
+    /// Returning/yielding the cell transfers resolution ownership.
+    fn transfer_if_mentions(&self, range: &Range<usize>, s: States) -> States {
+        if ast::ident_in(self.file, range, &self.var).is_none() {
+            return s;
+        }
+        s.iter()
+            .map(|&st| match st {
+                REG0 => REG1,
+                REG1 | REG2 => REG2,
+                other => other,
+            })
+            .collect()
+    }
+
+    fn record(&mut self, s: States, line: u32) {
+        if !s.is_empty() {
+            self.exits.push((s, line));
+        }
+    }
+
+    fn line_of(&self, range: &Range<usize>) -> u32 {
+        self.file.toks.get(range.start).map(|t| t.line).unwrap_or(0)
+    }
+}
+
+/// The map key at an `insert(key, ...)` site: the last identifier of
+/// the first argument (`insert(&op, cell)` → `op`).
+fn insert_key(file: &SourceFile, range: &Range<usize>) -> Option<String> {
+    let idx: Vec<usize> = (range.start..range.end.min(file.toks.len()))
+        .filter(|&i| file.toks[i].kind != TokKind::Comment)
+        .collect();
+    for w in 0..idx.len().saturating_sub(1) {
+        if file.toks[idx[w]].is_ident("insert") && file.toks[idx[w + 1]].is_punct('(') {
+            let mut depth = 0i64;
+            let mut last = None;
+            for &ti in idx.iter().skip(w + 1) {
+                let t = &file.toks[ti];
+                if t.is_punct('(') {
+                    depth += 1;
+                    if depth > 1 {
+                        break; // nested call: stop at the simple form
+                    }
+                } else if t.is_punct(')') || (t.is_punct(',') && depth == 1) {
+                    break;
+                } else if t.kind == TokKind::Ident {
+                    last = Some(t.text.clone());
+                }
+            }
+            return last;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new("crates/net/src/runtime.rs", src)];
+        let a = Analysis::build(&files);
+        check(&a)
+    }
+
+    const SUBMIT_SHAPE: &str = "impl NetSession {\n\
+        fn submit(&self, cmd: Cmd) -> Result<NetTicket, OpError> {\n\
+        if too_large(&cmd) { return Err(OpError::ValueTooLarge); }\n\
+        let op = self.next_op();\n\
+        let cell = TicketCell::new();\n\
+        crate::sync::lock(&self.inner.shared.router).insert(op, cell.clone());\n\
+        {\n\
+        let host = crate::sync::lock(&self.inner.host);\n\
+        let Some(h) = host.as_ref() else {\n\
+        crate::sync::lock(&self.inner.shared.router).remove(&op);\n\
+        return Err(OpError::Closed);\n\
+        };\n\
+        h.inject(ENV, Msg::Invoke(cmd));\n\
+        }\n\
+        Ok(NetTicket { op, cell, inner: self.inner.clone() })\n\
+        }\n\
+        }\n";
+
+    #[test]
+    fn the_submit_shape_is_clean() {
+        assert_eq!(run(SUBMIT_SHAPE), vec![]);
+    }
+
+    #[test]
+    fn dropping_the_error_path_remove_is_a_leak() {
+        let src =
+            SUBMIT_SHAPE.replace("crate::sync::lock(&self.inner.shared.router).remove(&op);\n", "");
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("unresolved"), "{}", out[0].msg);
+        assert!(out[0].msg.contains("cell"), "{}", out[0].msg);
+    }
+
+    #[test]
+    fn dropping_the_transfer_tail_is_a_leak() {
+        let src = SUBMIT_SHAPE.replace(
+            "Ok(NetTicket { op, cell, inner: self.inner.clone() })",
+            "Ok(NetTicket::detached(op))",
+        );
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("unresolved"), "{}", out[0].msg);
+    }
+
+    #[test]
+    fn double_resolution_on_one_path_fires() {
+        let out = run("impl S {\n\
+             fn submit(&self) -> R {\n\
+             let cell = TicketCell::new();\n\
+             self.router.insert(op, cell.clone());\n\
+             if bad { self.router.remove(&op); self.router.remove(&op); return Err(e); }\n\
+             Ok(cell)\n\
+             }\n\
+             }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("more than once"), "{}", out[0].msg);
+    }
+
+    #[test]
+    fn question_mark_exit_after_registration_is_a_leak() {
+        let out = run("impl S {\n\
+             fn submit(&self) -> Result<T, E> {\n\
+             let cell = TicketCell::new();\n\
+             self.router.insert(op, cell.clone());\n\
+             self.host.inject(msg)?;\n\
+             Ok(cell)\n\
+             }\n\
+             }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("unresolved"), "{}", out[0].msg);
+    }
+
+    #[test]
+    fn unregistered_cells_never_flag() {
+        let out = run("impl S {\n\
+             fn probe(&self) -> bool {\n\
+             let cell = TicketCell::new();\n\
+             if early { return false; }\n\
+             cell.poke()\n\
+             }\n\
+             }\n");
+        assert_eq!(out, vec![], "a private cell imposes no obligation: {out:?}");
+    }
+
+    #[test]
+    fn match_paths_each_need_resolution() {
+        let out = run("impl S {\n\
+             fn submit(&self) -> R {\n\
+             let cell = TicketCell::new();\n\
+             self.router.insert(op, cell.clone());\n\
+             match state {\n\
+             State::Up => Ok(cell),\n\
+             State::Down => Err(e),\n\
+             }\n\
+             }\n\
+             }\n");
+        assert_eq!(out.len(), 1, "the Down arm leaks: {out:?}");
+    }
+
+    #[test]
+    fn diverging_paths_are_not_exits() {
+        let out = run("impl S {\n\
+             fn submit(&self) -> R {\n\
+             let cell = TicketCell::new();\n\
+             self.router.insert(op, cell.clone());\n\
+             if broken { unreachable!(\"invariant\"); }\n\
+             Ok(cell)\n\
+             }\n\
+             }\n");
+        assert_eq!(out, vec![], "panics are net-panic's findings: {out:?}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Pass fixture for `completion-once`: every exit resolves the
+//! registered cell exactly once — the error path removes it, the
+//! success tail transfers it to the caller, and the invariant-violation
+//! path diverges (net-panic's jurisdiction, not a leak).
+
+impl NetSession {
+    fn submit(&self, cmd: Cmd) -> Result<NetTicket, OpError> {
+        if too_large(&cmd) {
+            return Err(OpError::ValueTooLarge);
+        }
+        let op = self.next_op();
+        let cell = TicketCell::new();
+        crate::sync::lock(&self.router).insert(op, cell.clone());
+        let host = crate::sync::lock(&self.host);
+        let Some(h) = host.as_ref() else {
+            crate::sync::lock(&self.router).remove(&op);
+            return Err(OpError::Closed);
+        };
+        if self.corrupt {
+            unreachable!("poisoned runtime");
+        }
+        h.inject(Msg::Invoke(cmd));
+        Ok(NetTicket { op, cell })
+    }
+}

@@ -1,0 +1,28 @@
+//! Trip fixture for `completion-once`: `submit` leaks its cell on the
+//! closed-host path (no `remove` before the early return), and
+//! `cancel` resolves its cell twice on the error path.
+
+impl NetSession {
+    fn submit(&self, cmd: Cmd) -> Result<NetTicket, OpError> {
+        let op = self.next_op();
+        let cell = TicketCell::new();
+        crate::sync::lock(&self.router).insert(op, cell.clone());
+        let host = crate::sync::lock(&self.host);
+        let Some(h) = host.as_ref() else {
+            return Err(OpError::Closed);
+        };
+        h.inject(Msg::Invoke(cmd));
+        Ok(NetTicket { op, cell })
+    }
+
+    fn cancel(&self, op: u64) -> Result<Cell, OpError> {
+        let cell = TicketCell::new();
+        self.router.insert(op, cell.clone());
+        if self.closed {
+            self.router.remove(&op);
+            self.router.remove(&op);
+            return Err(OpError::Closed);
+        }
+        Ok(cell)
+    }
+}

@@ -1,0 +1,30 @@
+//! Pass fixture for `lock-order`: consistent ordering, an early
+//! `drop`, and an extraction through the guard (`.take()`) whose
+//! temporary never outlives its statement.
+
+impl PeerPool {
+    fn stats(&self) -> Stats {
+        let q = crate::sync::lock(&self.queues);
+        let s = crate::sync::lock(&self.state);
+        Stats::of(&q, &s)
+    }
+
+    fn shutdown(&self) {
+        let host = crate::sync::lock(&self.host).take();
+        let s = crate::sync::lock(&self.state);
+        s.mark_closed(host);
+    }
+
+    fn watch(&self) {
+        let s = crate::sync::lock(&self.state);
+        let h = crate::sync::lock(&self.host);
+        h.ping(&s);
+    }
+
+    fn drain(&self) {
+        let q = crate::sync::lock(&self.queues);
+        drop(q);
+        let h = crate::sync::lock(&self.host);
+        h.flush_pending();
+    }
+}

@@ -1,0 +1,21 @@
+//! Trip fixture for `lock-order`: `stats` takes queues → state while
+//! `rebalance` holds state and reaches queues through a helper call —
+//! an interprocedural opposite-order pair.
+
+impl PeerPool {
+    fn stats(&self) -> Stats {
+        let q = crate::sync::lock(&self.queues);
+        let s = crate::sync::lock(&self.state);
+        Stats::of(&q, &s)
+    }
+
+    fn rebalance(&self) {
+        let s = crate::sync::lock(&self.state);
+        self.requeue(&s);
+    }
+
+    fn requeue(&self, _s: &State) {
+        let q = crate::sync::lock(&self.queues);
+        q.rotate();
+    }
+}

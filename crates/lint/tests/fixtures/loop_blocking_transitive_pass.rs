@@ -1,0 +1,26 @@
+//! Pass fixture for `loop-blocking-transitive`: the sanctioned mutex
+//! is allow-annotated with its contract, and the genuinely blocking
+//! writer runs on a spawned thread the call graph excludes.
+
+fn event_loop(p: &PeerPool) {
+    apply(p);
+}
+
+fn apply(p: &PeerPool) {
+    p.send(1);
+}
+
+impl PeerPool {
+    fn send(&self, seq: u32) {
+        // lint: allow(loop-blocking-transitive, reason = "bounded O(1) critical section; acquisition order kept acyclic by lock-order")
+        let mut q = self.inner.lock();
+        q.push(seq);
+        drop(q);
+        std::thread::spawn(move || writer_loop());
+    }
+}
+
+fn writer_loop() {
+    SOCK.flush();
+    std::thread::sleep(PAUSE);
+}

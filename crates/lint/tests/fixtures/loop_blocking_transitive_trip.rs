@@ -1,0 +1,17 @@
+//! Trip fixture for `loop-blocking-transitive`: the event loop reaches
+//! a blocking `flush()` through two first-party hops, which the direct
+//! `loop-blocking` rule cannot see.
+
+fn event_loop(p: &PeerPool) {
+    apply(p);
+}
+
+fn apply(p: &PeerPool) {
+    p.send(1);
+}
+
+impl PeerPool {
+    fn send(&self, _seq: u32) {
+        self.sock.flush();
+    }
+}

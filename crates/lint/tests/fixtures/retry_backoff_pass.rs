@@ -1,0 +1,26 @@
+//! Pass fixture for `retry-backoff`: the re-arm grows the delay with
+//! the attempt count; token passthroughs and disarms are not interval
+//! constructions.
+
+impl TransferFrame {
+    fn on_timer(&mut self, env: &Env, step: &mut Step) {
+        self.attempts += 1;
+        self.pump(step);
+        self.quiesce(step);
+        self.broadcast(env, step);
+    }
+
+    fn broadcast(&mut self, env: &Env, step: &mut Step) {
+        step.outbound.push(self.frame(env));
+        step.timer = Some((env.backoff_unit * 8) << self.attempts.min(6));
+    }
+
+    fn pump(&mut self, st: &mut Step) {
+        let token = self.next_timer_token;
+        st.timer = Some(token);
+    }
+
+    fn quiesce(&self, step: &mut Step) {
+        step.timer = None;
+    }
+}

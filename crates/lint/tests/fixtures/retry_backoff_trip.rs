@@ -1,0 +1,16 @@
+//! Trip fixture for `retry-backoff`: the timer path re-arms with a
+//! constant interval — the PR 5 congestion-collapse shape, where every
+//! retry fires at the same cadence the network already failed to keep
+//! up with.
+
+impl TransferFrame {
+    fn on_timer(&mut self, env: &Env, step: &mut Step) {
+        self.attempts += 1;
+        self.broadcast(env, step);
+    }
+
+    fn broadcast(&mut self, env: &Env, step: &mut Step) {
+        step.outbound.push(self.frame(env));
+        step.timer = Some(env.backoff_unit * 8);
+    }
+}

@@ -44,6 +44,93 @@ fn real_workspace_is_clean() {
     );
 }
 
+fn rule_findings(files: &[SourceFile], rule: &str) -> Vec<String> {
+    ares_lint::run(files, Some(rule)).into_iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn sleeping_in_the_send_path_fires_transitively() {
+    let mut files = load();
+    // A sleep inside `PeerPool::send` stalls the shard thread that
+    // called it — two hops below the event loop, invisible to the
+    // direct `loop-blocking` rule.
+    mutate(
+        &mut files,
+        "crates/net/src/host.rs",
+        "pub(crate) fn send(&self, to: ProcessId, frame: Arc<[u8]>) {",
+        "pub(crate) fn send(&self, to: ProcessId, frame: Arc<[u8]>) {\n        \
+         std::thread::sleep(core::time::Duration::from_millis(1));",
+    );
+    let out = rule_findings(&files, "loop-blocking-transitive");
+    assert!(
+        out.iter().any(|m| m.contains("sleep") && m.contains("send")),
+        "transitive sleep must fire with its chain: {out:?}"
+    );
+}
+
+#[test]
+fn inverted_lock_pair_fires_as_a_cycle() {
+    let mut files = load();
+    // Two real-impl methods taking the same pair of Timers mutexes in
+    // opposite orders, one side through a self method call.
+    mutate(
+        &mut files,
+        "crates/net/src/host.rs",
+        "impl Timers {",
+        "impl Timers {\n    \
+         fn audit_alpha(&self) {\n        \
+         let a = crate::sync::lock(&self.alpha);\n        \
+         let b = crate::sync::lock(&self.beta);\n        \
+         a.merge(&b);\n    }\n    \
+         fn audit_beta(&self) {\n        \
+         let b = crate::sync::lock(&self.beta);\n        \
+         self.audit_alpha();\n    }\n",
+    );
+    let out = rule_findings(&files, "lock-order");
+    assert!(
+        out.iter().any(|m| {
+            m.contains("cycle") && m.contains("Timers::alpha") && m.contains("Timers::beta")
+        }),
+        "opposite-order pair must fire: {out:?}"
+    );
+}
+
+#[test]
+fn flattened_backoff_fires() {
+    let mut files = load();
+    // Strip the exponential growth from the transfer retry re-arm: the
+    // PR 5 congestion-collapse shape.
+    mutate(
+        &mut files,
+        "crates/core/src/frames.rs",
+        "step.timer = Some((env.backoff_unit * 8) << self.attempts.min(6));",
+        "step.timer = Some(env.backoff_unit * 8);",
+    );
+    let out = rule_findings(&files, "retry-backoff");
+    assert!(
+        out.iter().any(|m| m.contains("constant interval") && m.contains("frames.rs")),
+        "flattened re-arm must fire: {out:?}"
+    );
+}
+
+#[test]
+fn dropping_the_submit_error_path_remove_fires() {
+    let mut files = load();
+    // Without the remove, the closed-runtime path exits with the cell
+    // still registered in the router — the PR 4 class of parked waiter.
+    mutate(
+        &mut files,
+        "crates/net/src/runtime.rs",
+        "crate::sync::lock(&self.inner.shared.router).remove(&op);",
+        "",
+    );
+    let out = rule_findings(&files, "completion-once");
+    assert!(
+        out.iter().any(|m| m.contains("unresolved") && m.contains("runtime.rs")),
+        "leaked registration must fire: {out:?}"
+    );
+}
+
 #[test]
 fn deleting_shard_route_arm_fires() {
     let mut files = load();
