@@ -36,6 +36,18 @@ impl Acceptor {
         self.accepted
     }
 
+    /// Rebuilds an acceptor from durable state (checkpoint decode or
+    /// WAL replay) — the inverse of the three getters. A promise that
+    /// does not survive a crash is not honestly a promise, so crash
+    /// recovery must restore `promised` exactly as it stood.
+    pub fn from_parts(
+        promised: Ballot,
+        accepted: Option<(Ballot, ConfigId)>,
+        decided: Option<ConfigId>,
+    ) -> Self {
+        Acceptor { promised, accepted, decided }
+    }
+
     /// Handles a proposer message addressed to this acceptor, returning
     /// replies as `(destination, message)` pairs.
     ///

@@ -65,7 +65,7 @@ pub use client::{ClientActor, ClientConfig};
 pub use frames::TransferMode;
 pub use msg::{CfgMsg, ClientCmd, Invoke, Msg, XferMsg};
 pub use repair::RepairMsg;
-pub use server::ServerActor;
+pub use server::{AcceptorSnap, NextCSnap, ServerActor, ServerSnapshot};
 pub use store::{OpError, OpTicket, Store, StoreSession};
 
 #[cfg(test)]

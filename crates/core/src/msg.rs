@@ -221,6 +221,45 @@ impl Msg {
             Msg::Cmd(_) | Msg::Invoke(_) => false,
         }
     }
+
+    /// Whether a delivered message mutates durable server state and
+    /// must therefore be journaled to the shard's write-ahead log
+    /// *before* the handler runs.
+    ///
+    /// Journaled: the mutating requests — DAP puts (`AbdWrite`,
+    /// `TreasWrite`, `LdrPutData`, `LdrPutMeta`), the acceptor-bound
+    /// consensus messages (`Prepare` raises the promised ballot, and a
+    /// promise that does not survive a crash is not honestly a
+    /// promise; `Accept`, `Decide`), `WriteConfig` installs of `nextC`
+    /// pointers, and `FwdElem` state-transfer elements.
+    ///
+    /// Not journaled: queries and replies (they mutate nothing),
+    /// repair traffic (recovery re-derives it — the delta-repair pass
+    /// after replay re-fetches anything a lost `Lists` merge would
+    /// have contributed), and the client-only command envelopes.
+    ///
+    /// Like [`Msg::network_admissible`], this is a single exhaustive
+    /// surface (enforced by `ares-lint`'s `msg-surface` rule): a
+    /// future variant must be classified here explicitly, so new
+    /// durable state cannot silently skip the log.
+    pub fn journaled(&self) -> bool {
+        use ares_dap::DapBody;
+        match self {
+            Msg::Dap(m) => matches!(
+                m.body,
+                DapBody::AbdWrite(..)
+                    | DapBody::TreasWrite(..)
+                    | DapBody::LdrPutData(..)
+                    | DapBody::LdrPutMeta(..)
+            ),
+            Msg::Con(m) => {
+                matches!(m, ConMsg::Prepare { .. } | ConMsg::Accept { .. } | ConMsg::Decide { .. })
+            }
+            Msg::Cfg(m) => matches!(m, CfgMsg::WriteConfig { .. }),
+            Msg::Xfer(m) => matches!(m, XferMsg::FwdElem { .. }),
+            Msg::Repair(_) | Msg::Cmd(_) | Msg::Invoke(_) => false,
+        }
+    }
 }
 
 impl SimMessage for Msg {

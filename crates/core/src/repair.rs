@@ -14,8 +14,11 @@
 //! Protocol (one round):
 //!
 //! 1. the repairing server broadcasts `REPAIR-QUERY` to its peers in the
-//!    configuration;
-//! 2. peers reply with their full `List` (tags + coded elements);
+//!    configuration, carrying the tags it already holds coded elements
+//!    for (so a node recovering from its write-ahead log only fetches
+//!    the *delta* written while it was down, not its whole prefix);
+//! 2. peers reply with their `List` (tags + coded elements) minus the
+//!    announced already-held tags;
 //! 3. once `⌈(n+k)/2⌉` lists arrive, every tag that is decodable (≥ k
 //!    distinct coded elements) is decoded and re-encoded for the
 //!    repairer's own index; tags seen but not decodable are recorded as
@@ -46,7 +49,8 @@ pub enum RepairMsg {
         /// Object to rebuild.
         obj: ObjectId,
     },
-    /// Repairer → peer: send me your `List`.
+    /// Repairer → peer: send me your `List`, minus the tags I already
+    /// hold coded elements for.
     Query {
         /// Configuration.
         cfg: ConfigId,
@@ -54,6 +58,10 @@ pub enum RepairMsg {
         obj: ObjectId,
         /// Phase id.
         rpc: RpcId,
+        /// Tags the repairer already holds its own coded element for
+        /// (ascending); peers omit them from their reply, making the
+        /// repair bandwidth proportional to what was actually lost.
+        known: Vec<Tag>,
         /// Attribution (repairs are charged like an operation of the
         /// repairing server).
         op: OpId,
@@ -116,15 +124,18 @@ pub enum RepairProgress {
 
 impl RepairTask {
     /// Starts a repair of `(cfg, obj)` for server `me`; returns the task
-    /// and the `Query` broadcast.
+    /// and the `Query` broadcast. `known` lists the tags `me` already
+    /// holds its own coded element for — peers omit those from their
+    /// replies, so a log-recovered node only pays for its delta.
     pub fn start(
         cfg: Arc<Configuration>,
         obj: ObjectId,
         me: ProcessId,
         rpc: RpcId,
+        known: Vec<Tag>,
     ) -> (Self, Vec<(ProcessId, Msg)>) {
         let op = OpId { client: me, seq: rpc.0 };
-        let msg = RepairMsg::Query { cfg: cfg.id, obj, rpc, op };
+        let msg = RepairMsg::Query { cfg: cfg.id, obj, rpc, known, op };
         let sends = cfg
             .servers
             .iter()
@@ -221,7 +232,8 @@ mod tests {
     fn repair_rebuilds_own_fragment() {
         let cfg = cfg();
         let me = ProcessId(5);
-        let (mut task, sends) = RepairTask::start(cfg.clone(), ObjectId(0), me, RpcId(1));
+        let (mut task, sends) =
+            RepairTask::start(cfg.clone(), ObjectId(0), me, RpcId(1), Vec::new());
         assert_eq!(sends.len(), 4, "queries every peer");
 
         let v = Value::filler(90, 3);
@@ -253,7 +265,7 @@ mod tests {
     fn undecodable_tags_keep_metadata_only() {
         let cfg = cfg();
         let me = ProcessId(5);
-        let (mut task, _) = RepairTask::start(cfg, ObjectId(0), me, RpcId(2));
+        let (mut task, _) = RepairTask::start(cfg, ObjectId(0), me, RpcId(2), Vec::new());
         let v = Value::filler(30, 1);
         let tag = Tag::new(2, ProcessId(9));
         // Only 2 < k = 3 peers hold elements; third peer knows the tag
@@ -282,7 +294,7 @@ mod tests {
     fn stale_and_foreign_replies_ignored() {
         let cfg = cfg();
         let me = ProcessId(5);
-        let (mut task, _) = RepairTask::start(cfg, ObjectId(0), me, RpcId(3));
+        let (mut task, _) = RepairTask::start(cfg, ObjectId(0), me, RpcId(3), Vec::new());
         let msg = RepairMsg::Lists {
             cfg: ConfigId(0),
             obj: ObjectId(0),

@@ -16,7 +16,7 @@
 use crate::msg::{CfgMsg, Msg, XferMsg};
 use crate::repair::{RepairMsg, RepairProgress, RepairTask};
 use ares_codes::{build_code, Fragment};
-use ares_consensus::Acceptor;
+use ares_consensus::{Acceptor, Ballot};
 use ares_dap::server::DapServer;
 use ares_sim::{Actor, Ctx};
 use ares_types::{
@@ -38,6 +38,50 @@ const MAX_PENDING_TAGS_PER_OBJECT: usize = 64;
 /// transfer tag (honest traffic has exactly one); beyond it the
 /// smallest, most recently started group is evicted.
 const MAX_VALUE_LEN_GROUPS: usize = 8;
+
+/// One Paxos acceptor's durable state, keyed by consensus instance —
+/// part of a [`ServerSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceptorSnap {
+    /// The consensus instance (base configuration).
+    pub inst: ConfigId,
+    /// Highest promised ballot.
+    pub promised: Ballot,
+    /// Highest accepted `(ballot, value)`.
+    pub accepted: Option<(Ballot, ConfigId)>,
+    /// Learned decision, if any.
+    pub decided: Option<ConfigId>,
+}
+
+/// One installed `nextC` pointer — part of a [`ServerSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextCSnap {
+    /// The configuration whose successor pointer this is.
+    pub base: ConfigId,
+    /// The pointer (Pending or Finalized).
+    pub entry: ConfigEntry,
+}
+
+/// A point-in-time image of the state a [`ServerActor`] must carry
+/// across a crash: DAP object state, acceptor promises/accepts, and
+/// `nextC` pointers. This is the payload of a WAL checkpoint.
+///
+/// Deliberately *not* captured — transient state that recovery
+/// re-derives: the ARES-TREAS `D` sets and `Recons` acks (a transfer
+/// interrupted by the crash is re-driven by the reconfigurer's retry,
+/// and the post-replay delta-repair pass re-fetches any fragment a
+/// lost `FwdElem` accumulation would have decoded) and in-flight
+/// [`RepairTask`]s (their `Lists` replies are stale after a restart;
+/// a recovered node simply re-triggers repair).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Per-`(cfg, obj)` DAP state.
+    pub dap: ares_dap::server::DapSnapshot,
+    /// Per-instance acceptor state, sorted by instance.
+    pub acceptors: Vec<AcceptorSnap>,
+    /// Installed `nextC` pointers, sorted by base config.
+    pub nextc: Vec<NextCSnap>,
+}
 
 /// The ARES server process.
 pub struct ServerActor {
@@ -92,6 +136,46 @@ impl ServerActor {
         let pending: u64 =
             self.dset.values().map(|v| v.iter().map(|f| f.data.len() as u64).sum::<u64>()).sum();
         self.dap.storage_bytes() + pending
+    }
+
+    /// Captures the durable state as a [`ServerSnapshot`], sorted for
+    /// deterministic encoding.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let mut acceptors: Vec<AcceptorSnap> = self
+            .acceptors
+            .iter()
+            .map(|(&inst, a)| AcceptorSnap {
+                inst,
+                promised: a.promised(),
+                accepted: a.accepted(),
+                decided: a.decided(),
+            })
+            .collect();
+        acceptors.sort_by_key(|a| a.inst);
+        let mut nextc: Vec<NextCSnap> =
+            self.nextc.iter().map(|(&base, &entry)| NextCSnap { base, entry }).collect();
+        nextc.sort_by_key(|e| e.base);
+        ServerSnapshot { dap: self.dap.snapshot(), acceptors, nextc }
+    }
+
+    /// Rebuilds a server from a recovered [`ServerSnapshot`]. The
+    /// caller (the WAL recovery path) replays the journal tail on top
+    /// of this state and then triggers delta repair for anything
+    /// written while the node was down.
+    pub fn from_snapshot(
+        me: ProcessId,
+        registry: Arc<ConfigRegistry>,
+        snap: ServerSnapshot,
+    ) -> Self {
+        let mut s = ServerActor::new(me, registry);
+        s.dap.restore(snap.dap);
+        for a in snap.acceptors {
+            s.acceptors.insert(a.inst, Acceptor::from_parts(a.promised, a.accepted, a.decided));
+        }
+        for e in snap.nextc {
+            s.nextc.insert(e.base, e.entry);
+        }
+        s
     }
 
     fn handle_cfg(&mut self, from: ProcessId, msg: CfgMsg) -> Vec<(ProcessId, Msg)> {
@@ -355,13 +439,32 @@ impl ServerActor {
                     return Vec::new(); // not a member: nothing to repair
                 }
                 self.repair_rpc += 1;
-                let (task, sends) =
-                    RepairTask::start(config, obj, self.me, ares_types::RpcId(self.repair_rpc));
+                // Tags this server already holds its own coded element
+                // for (ascending — BTreeMap order): peers skip them, so
+                // repair traffic covers only the lost delta.
+                let known: Vec<ares_types::Tag> = self
+                    .dap
+                    .treas_state(cfg, obj)
+                    .list
+                    .iter()
+                    .filter_map(|(t, f)| f.is_some().then_some(*t))
+                    .collect();
+                let (task, sends) = RepairTask::start(
+                    config,
+                    obj,
+                    self.me,
+                    ares_types::RpcId(self.repair_rpc),
+                    known,
+                );
                 self.repairs.insert((cfg, obj), task);
                 sends
             }
-            RepairMsg::Query { cfg, obj, rpc, op } => {
-                let list = self.dap.treas_state(cfg, obj).to_entries();
+            RepairMsg::Query { cfg, obj, rpc, known, op } => {
+                let mut list = self.dap.treas_state(cfg, obj).to_entries();
+                // `known` is sorted by the honest sender; a hostile
+                // unsorted list only misfilters the reply to the sender's
+                // own detriment (repair merges are add-only either way).
+                list.retain(|e| known.binary_search(&e.tag).is_err());
                 vec![(from, Msg::Repair(RepairMsg::Lists { cfg, obj, rpc, list, op }))]
             }
             lists @ RepairMsg::Lists { .. } => {
@@ -491,6 +594,48 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn repair_query_carries_held_tags_and_peers_reply_only_the_delta() {
+        let frag = |i: usize| ares_codes::Fragment {
+            index: i,
+            value_len: 30,
+            data: bytes::Bytes::from(vec![0xCD; 10]),
+        };
+        let t_old = Tag::new(1, ProcessId(200));
+        let t_new = Tag::new(2, ProcessId(200));
+
+        // The recovering server (4) replayed t_old from its log but
+        // missed t_new: its repair Query must announce t_old as known.
+        let mut recovering = ServerActor::new(ProcessId(4), registry());
+        recovering.dap.treas_state(ConfigId(1), ObjectId(0)).list.insert(t_old, Some(frag(0)));
+        let sends = recovering
+            .handle_repair(ProcessId(0), RepairMsg::Trigger { cfg: ConfigId(1), obj: ObjectId(0) });
+        assert_eq!(sends.len(), 4, "queries every peer");
+        let Msg::Repair(query) = sends[0].1.clone() else {
+            panic!("expected a repair query, got {:?}", sends[0].1);
+        };
+        let RepairMsg::Query { ref known, .. } = query else {
+            panic!("expected a repair query, got {query:?}");
+        };
+        assert_eq!(
+            known,
+            &vec![ares_types::TAG0, t_old],
+            "announces the seed tag and the replayed tag, not the missing one"
+        );
+
+        // A peer (5) holding both tags replies with only the delta.
+        let mut peer = ServerActor::new(ProcessId(5), registry());
+        let st = peer.dap.treas_state(ConfigId(1), ObjectId(0));
+        st.list.insert(t_old, Some(frag(1)));
+        st.list.insert(t_new, Some(frag(1)));
+        let out = peer.handle_repair(ProcessId(4), query);
+        let Msg::Repair(RepairMsg::Lists { list, .. }) = &out[0].1 else {
+            panic!("expected a lists reply, got {:?}", out[0].1);
+        };
+        assert_eq!(list.len(), 1, "known tag filtered out");
+        assert_eq!(list[0].tag, t_new);
     }
 
     #[test]

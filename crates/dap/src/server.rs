@@ -134,6 +134,69 @@ impl LdrRepState {
     }
 }
 
+/// Durable image of one ABD object state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbdSnap {
+    /// Configuration the state belongs to.
+    pub cfg: ConfigId,
+    /// The object.
+    pub obj: ObjectId,
+    /// Stored tag.
+    pub tag: Tag,
+    /// Stored value.
+    pub value: Value,
+}
+
+/// Durable image of one TREAS object `List`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreasSnap {
+    /// Configuration the state belongs to.
+    pub cfg: ConfigId,
+    /// The object.
+    pub obj: ObjectId,
+    /// The full list, GC'd entries included (`frag = None` = `⊥`).
+    pub list: Vec<ListEntry>,
+}
+
+/// Durable image of one LDR directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdrDirSnap {
+    /// Configuration the state belongs to.
+    pub cfg: ConfigId,
+    /// The object.
+    pub obj: ObjectId,
+    /// Highest known tag.
+    pub tag: Tag,
+    /// Replicas holding the value for `tag`.
+    pub locs: Vec<ProcessId>,
+}
+
+/// Durable image of one LDR replica store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdrRepSnap {
+    /// Configuration the state belongs to.
+    pub cfg: ConfigId,
+    /// The object.
+    pub obj: ObjectId,
+    /// Recent `tag → value` history, ascending by tag.
+    pub store: Vec<TagValue>,
+}
+
+/// A point-in-time image of every per-`(cfg, obj)` DAP state held by
+/// one [`DapServer`] — the payload of a WAL checkpoint. Entries are
+/// sorted by `(cfg, obj)` so equal states encode to equal bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DapSnapshot {
+    /// ABD states.
+    pub abd: Vec<AbdSnap>,
+    /// TREAS lists.
+    pub treas: Vec<TreasSnap>,
+    /// LDR directory entries.
+    pub ldr_dir: Vec<LdrDirSnap>,
+    /// LDR replica stores.
+    pub ldr_rep: Vec<LdrRepSnap>,
+}
+
 /// The unified DAP server: holds per-`(cfg, obj)` state for every
 /// implementation and dispatches incoming requests.
 pub struct DapServer {
@@ -191,6 +254,76 @@ impl DapServer {
             .map(|s| s.store.values().map(|v| v.len() as u64).sum::<u64>())
             .sum();
         abd + treas + ldr
+    }
+
+    /// Captures every per-`(cfg, obj)` state as a [`DapSnapshot`],
+    /// sorted by key for deterministic encoding.
+    pub fn snapshot(&self) -> DapSnapshot {
+        let mut abd: Vec<AbdSnap> = self
+            .abd
+            .iter()
+            .map(|(&(cfg, obj), s)| AbdSnap { cfg, obj, tag: s.tag, value: s.value.clone() })
+            .collect();
+        abd.sort_by_key(|e| (e.cfg, e.obj));
+        let mut treas: Vec<TreasSnap> = self
+            .treas
+            .iter()
+            .map(|(&(cfg, obj), s)| TreasSnap { cfg, obj, list: s.to_entries() })
+            .collect();
+        treas.sort_by_key(|e| (e.cfg, e.obj));
+        let mut ldr_dir: Vec<LdrDirSnap> = self
+            .ldr_dir
+            .iter()
+            .map(|(&(cfg, obj), s)| LdrDirSnap { cfg, obj, tag: s.tag, locs: s.locs.clone() })
+            .collect();
+        ldr_dir.sort_by_key(|e| (e.cfg, e.obj));
+        let mut ldr_rep: Vec<LdrRepSnap> = self
+            .ldr_rep
+            .iter()
+            .map(|(&(cfg, obj), s)| LdrRepSnap {
+                cfg,
+                obj,
+                store: s.store.iter().map(|(&tag, v)| TagValue::new(tag, v.clone())).collect(),
+            })
+            .collect();
+        ldr_rep.sort_by_key(|e| (e.cfg, e.obj));
+        DapSnapshot { abd, treas, ldr_dir, ldr_rep }
+    }
+
+    /// Restores state from a [`DapSnapshot`] (crash recovery), replacing
+    /// whatever the server currently holds. Snapshot bytes come off a
+    /// disk that may predate the crash by one checkpoint interval, so
+    /// recovery replays the WAL tail on top and then leans on fragment
+    /// repair for anything newer.
+    pub fn restore(&mut self, snap: DapSnapshot) {
+        self.abd.clear();
+        self.treas.clear();
+        self.ldr_dir.clear();
+        self.ldr_rep.clear();
+        for e in snap.abd {
+            self.abd.insert((e.cfg, e.obj), AbdState { tag: e.tag, value: e.value });
+        }
+        for e in snap.treas {
+            let mut list = BTreeMap::new();
+            for entry in e.list {
+                list.insert(entry.tag, entry.frag);
+            }
+            if !list.is_empty() {
+                self.treas.insert((e.cfg, e.obj), TreasState { list });
+            }
+        }
+        for e in snap.ldr_dir {
+            self.ldr_dir.insert((e.cfg, e.obj), LdrDirState { tag: e.tag, locs: e.locs });
+        }
+        for e in snap.ldr_rep {
+            let mut store = BTreeMap::new();
+            for tv in e.store {
+                store.insert(tv.tag, tv.value);
+            }
+            if !store.is_empty() {
+                self.ldr_rep.insert((e.cfg, e.obj), LdrRepState { store });
+            }
+        }
     }
 
     /// Handles one request, returning `(destination, reply)` pairs.

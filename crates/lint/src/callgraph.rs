@@ -48,6 +48,7 @@ const CRATE_ORDER: &[&str] = &[
     "consensus",
     "dap",
     "core",
+    "wal",
     "net",
     "harness",
     "loadgen",

@@ -50,6 +50,8 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/net/src/host.rs",
     "crates/net/src/runtime.rs",
     "crates/net/src/testing.rs",
+    "crates/net/src/wal.rs",
+    "crates/wal/src/lib.rs",
     "crates/core/src/server.rs",
     "crates/core/src/client.rs",
     "crates/core/src/frames.rs",

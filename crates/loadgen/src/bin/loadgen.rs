@@ -8,21 +8,22 @@
 //! documented in README).
 //!
 //! Usage: `cargo run --release -p ares-loadgen --bin loadgen --
-//! [--quick] [--verbose] [--only-shards] [--out PATH]
-//! [--sessions-out PATH] [--shards-out PATH]`
+//! [--quick] [--verbose] [--only-shards] [--only-recovery] [--out PATH]
+//! [--sessions-out PATH] [--shards-out PATH] [--recovery-out PATH]`
 //!
 //! `--quick` shrinks every dimension for CI smoke runs (a few seconds);
 //! the default sizing targets a laptop-scale minute. `--only-shards`
-//! runs just the shard-scaling sweep (full-size unless `--quick`);
-//! `--verbose` prints every node's per-shard runtime counters after
-//! each sweep leg.
+//! runs just the shard-scaling sweep, `--only-recovery` just the
+//! crash-recovery A/B (both full-size unless `--quick`); `--verbose`
+//! prints every node's per-shard runtime and WAL counters after each
+//! sweep leg.
 
 use ares_loadgen::json::JsonWriter;
 use ares_loadgen::wirebench::{abd_write_pipeline, treas_write_pipeline, AbResult};
 use ares_loadgen::{
     run_cluster, run_cluster_sessions, run_cluster_sharded, run_open_loop_cluster,
-    run_open_loop_sim, run_sim, LatencyHistogram, LoadReport, LoadSpec, OpenLoopReport,
-    OpenLoopSpec, ShardRunReport,
+    run_open_loop_sim, run_recovery, run_sim, LatencyHistogram, LoadReport, LoadSpec,
+    OpenLoopReport, OpenLoopSpec, RecoveryMode, RecoveryRunReport, RecoverySpec, ShardRunReport,
 };
 use ares_types::{ConfigId, Configuration, ProcessId};
 
@@ -125,6 +126,23 @@ fn node_stats_json(w: &mut JsonWriter, pid: u32, s: &ares_net::NodeStats) {
     w.f64("frames_per_flush", s.frames_per_flush());
     w.u64("frames_abandoned", s.frames_abandoned);
     w.u64("outbound_dropped", s.outbound_dropped);
+    if let Some(wal) = &s.wal {
+        wal_stats_json(w, wal);
+    }
+    w.end_object();
+}
+
+fn wal_stats_json(w: &mut JsonWriter, wal: &ares_net::WalStats) {
+    w.begin_object_key("wal");
+    w.u64("records_appended", wal.records_appended);
+    w.u64("bytes_logged", wal.bytes_logged);
+    w.u64("fsyncs", wal.fsyncs);
+    w.f64("group_commit_batch_size", wal.group_commit_batch_size());
+    w.u64("checkpoints", wal.checkpoints);
+    w.u64("replay_records", wal.replay_records);
+    w.u64("torn_tail_truncations", wal.torn_tail_truncations);
+    w.u64("corrupt_records_dropped", wal.corrupt_records_dropped);
+    w.u64("append_errors", wal.append_errors);
     w.end_object();
 }
 
@@ -150,6 +168,18 @@ fn print_node_stats(nodes: &[(u32, ares_net::NodeStats)]) {
             s.outbound_dropped,
             s.frames_abandoned
         );
+        if let Some(w) = &s.wal {
+            println!(
+                "  node {pid} wal: {} records / {} B logged, {} fsyncs \
+                 ({:.1} records/group-commit), {} checkpoints, {} replayed",
+                w.records_appended,
+                w.bytes_logged,
+                w.fsyncs,
+                w.group_commit_batch_size(),
+                w.checkpoints,
+                w.replay_records
+            );
+        }
     }
 }
 
@@ -234,6 +264,90 @@ fn run_shard_sweep(quick: bool, verbose: bool, out_path: &str) {
     }
 }
 
+/// The crash-recovery A/B (E15): the same populate → crash → delta →
+/// restart incident, recovered once by WAL replay + delta repair and
+/// once by blank restart + repair-from-zero. Both histories are
+/// atomicity-checked; the full run gates on replay being faster.
+fn run_recovery_sweep(quick: bool, out_path: &str) {
+    let spec = if quick { RecoverySpec::quick() } else { RecoverySpec::full() };
+    println!(
+        "\n# recovery A/B: {} objects × {} writes ({} KiB values), {}-object delta, \
+         durable TREAS [5,3]",
+        spec.objects,
+        spec.writes_per_object,
+        spec.value_size / 1024,
+        spec.delta_objects
+    );
+    // Wall-clock recovery times on loopback carry scheduler noise:
+    // each leg runs `iters` times and reports its median.
+    let iters = if quick { 1 } else { 3 };
+    let legs: Vec<RecoveryRunReport> = [RecoveryMode::ReplayDelta, RecoveryMode::RepairFromZero]
+        .into_iter()
+        .map(|mode| {
+            let mut runs: Vec<RecoveryRunReport> = (0..iters)
+                .map(|_| {
+                    let r = run_recovery(&spec, mode).expect("recovery bring-up");
+                    r.assert_atomic();
+                    r
+                })
+                .collect();
+            runs.sort_by(|a, b| a.recovery_secs.total_cmp(&b.recovery_secs));
+            let r = runs.swap_remove(runs.len() / 2);
+            println!(
+                "recovery {:<16} {:>8.3} s median of {iters}  ({} records replayed, {} frames in)",
+                r.mode.label(),
+                r.recovery_secs,
+                r.records_replayed,
+                r.recovery_frames
+            );
+            r
+        })
+        .collect();
+    let (replay, zero) = (&legs[0], &legs[1]);
+    let speedup = zero.recovery_secs / replay.recovery_secs.max(1e-9);
+    println!("replay-then-delta-repair over repair-from-zero: {speedup:.2}× faster");
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.string("schema", "ares-bench-recovery/v1");
+    w.string("mode", if quick { "quick" } else { "full" });
+    w.string("config", "treas53");
+    w.u64("objects", spec.objects as u64);
+    w.u64("writes_per_object", spec.writes_per_object as u64);
+    w.u64("delta_objects", spec.delta_objects as u64);
+    w.u64("value_bytes", spec.value_size as u64);
+    w.begin_array_key("legs");
+    for r in &legs {
+        w.begin_object();
+        w.string("recovery", r.mode.label());
+        w.f64("recovery_secs", r.recovery_secs);
+        w.u64("records_replayed", r.records_replayed);
+        w.u64("recovery_frames", r.recovery_frames);
+        w.u64("ops", r.completions.len() as u64);
+        if let Some(wal) = &r.wal {
+            wal_stats_json(&mut w, wal);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.f64("replay_speedup_over_zero", speedup);
+    w.end_object();
+    std::fs::write(out_path, w.finish() + "\n").expect("write recovery json");
+    println!("wrote {out_path}");
+
+    assert!(replay.records_replayed > 0, "the replay leg must actually replay journal records");
+    // The acceptance gate, armed in the full run: replaying the local
+    // log and repairing only the delta must beat refetching every
+    // object over the wire. Quick CI runs only report (tiny state makes
+    // the margin noise-bound).
+    if !quick {
+        assert!(
+            speedup > 1.0,
+            "replay-then-delta-repair must beat repair-from-zero: {speedup:.2}×"
+        );
+    }
+}
+
 fn print_report(kind: &str, name: &str, r: &LoadReport) {
     let (rp50, rp99, _) = r.read_hist.percentiles();
     let (wp50, wp99, _) = r.write_hist.percentiles();
@@ -257,9 +371,15 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose");
     let shards_out_path = arg_value(&args, "--shards-out", "BENCH_shards.json");
+    let recovery_out_path = arg_value(&args, "--recovery-out", "BENCH_recovery.json");
     if args.iter().any(|a| a == "--only-shards") {
         println!("# loadgen (quick={quick}) — shard-scaling sweep only\n");
         run_shard_sweep(quick, verbose, &shards_out_path);
+        return;
+    }
+    if args.iter().any(|a| a == "--only-recovery") {
+        println!("# loadgen (quick={quick}) — crash-recovery A/B only\n");
+        run_recovery_sweep(quick, &recovery_out_path);
         return;
     }
     let out_path = arg_value(&args, "--out", "BENCH_throughput.json");
@@ -452,6 +572,9 @@ fn main() {
 
     // ---- shard-scaling sweep ---------------------------------------
     run_shard_sweep(quick, verbose, &shards_out_path);
+
+    // ---- crash-recovery A/B ----------------------------------------
+    run_recovery_sweep(quick, &recovery_out_path);
 
     // The acceptance gates: the 1 MiB TREAS [5,3] write pipeline must
     // stay measurably faster than the seed's, and one session-

@@ -25,17 +25,21 @@
 //! is itself safety-checked.
 //!
 //! The [`wirebench`] module holds the before/after A/B of the
-//! encode-once / share-don't-copy wire path; the `loadgen` binary ties
-//! everything together and emits `BENCH_throughput.json` plus
-//! `BENCH_sessions.json` (schemas in the repo README).
+//! encode-once / share-don't-copy wire path, and the [`recovery`]
+//! module the crash-recovery A/B (WAL replay-then-delta-repair vs
+//! repair-from-zero); the `loadgen` binary ties everything together
+//! and emits `BENCH_throughput.json`, `BENCH_sessions.json` and
+//! `BENCH_recovery.json` (schemas in the repo README).
 
 mod hist;
 pub mod json;
 pub mod openloop;
+pub mod recovery;
 pub mod wirebench;
 
 pub use hist::LatencyHistogram;
 pub use openloop::{run_open_loop_cluster, run_open_loop_sim, OpenLoopReport, OpenLoopSpec};
+pub use recovery::{run_recovery, RecoveryMode, RecoveryRunReport, RecoverySpec};
 
 use ares_core::store::{Store, StoreSession};
 use ares_core::{ClientCmd, OpTicket};

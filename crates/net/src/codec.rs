@@ -834,11 +834,12 @@ impl WireEncode for RepairMsg {
                 cfg.encode(out);
                 obj.encode(out);
             }
-            RepairMsg::Query { cfg, obj, rpc, op } => {
+            RepairMsg::Query { cfg, obj, rpc, known, op } => {
                 out.push(1);
                 cfg.encode(out);
                 obj.encode(out);
                 rpc.encode(out);
+                known.encode(out);
                 op.encode(out);
             }
             RepairMsg::Lists { cfg, obj, rpc, list, op } => {
@@ -861,6 +862,7 @@ impl WireDecode for RepairMsg {
                 cfg: ConfigId::decode(r)?,
                 obj: ObjectId::decode(r)?,
                 rpc: RpcId::decode(r)?,
+                known: Vec::<Tag>::decode(r)?,
                 op: OpId::decode(r)?,
             },
             2 => RepairMsg::Lists {

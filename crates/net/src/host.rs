@@ -17,6 +17,7 @@
 //! their command lanes and completion routing assume one loop.
 
 use crate::codec::{self, read_frame};
+use crate::wal::ShardWal;
 use ares_core::Msg;
 use ares_sim::{Actor, Ctx, HostEffect};
 use ares_types::{ConfigRegistry, ObjectId, OpCompletion, ProcessId, Time};
@@ -27,7 +28,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -392,7 +393,10 @@ pub(crate) enum Event<A> {
     },
     Pause,
     Resume,
-    Replace(A),
+    /// Swap in a replacement actor, and with it the shard's journaling
+    /// state: a blank restart carries `None` (its durability died with
+    /// its disk), a recovered restart carries the reopened log.
+    Replace(A, Option<ShardWal<A>>),
     Shutdown,
 }
 
@@ -461,6 +465,9 @@ pub struct NodeStats {
     pub frames_abandoned: u64,
     /// Frames evicted from full outbound queues (drop-oldest policy).
     pub outbound_dropped: u64,
+    /// Write-ahead-log counters summed over the node's shards; `None`
+    /// when the node runs without durability (no data dir).
+    pub wal: Option<ares_wal::WalStats>,
 }
 
 impl NodeStats {
@@ -536,7 +543,7 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn start(
         pid: ProcessId,
-        actors: Vec<A>,
+        actors: Vec<(A, Option<ShardWal<A>>)>,
         router: ShardRouter,
         admission: Admission,
         book: Arc<crate::runtime::AddrBook>,
@@ -573,7 +580,8 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
 
         // One event loop + one timer thread per shard.
         let mut completions = completions;
-        for (si, ((actor, rx), shard)) in actors.into_iter().zip(rxs).zip(shards.iter()).enumerate()
+        for (si, (((actor, wal), rx), shard)) in
+            actors.into_iter().zip(rxs).zip(shards.iter()).enumerate()
         {
             let loopbacks = txs.clone();
             let pool = pool.clone();
@@ -585,7 +593,7 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
             let sink = if si == 0 { completions.take() } else { None };
             threads.push(std::thread::spawn(move || {
                 event_loop(
-                    pid, si, actor, rx, loopbacks, router, pool, timers, epoch, sink, inbound,
+                    pid, si, actor, wal, rx, loopbacks, router, pool, timers, epoch, sink, inbound,
                     counters,
                 );
             }));
@@ -656,12 +664,20 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
         self.paused.store(false, Ordering::SeqCst);
     }
 
-    /// Replaces every shard's actor (a restart that lost its state);
-    /// `actors` must supply one replacement per shard.
+    /// Replaces every shard's actor (a restart that lost its state —
+    /// and, with it, any journaling: the replacement runs without a
+    /// log); `actors` must supply one replacement per shard.
     pub(crate) fn replace_all(&self, actors: Vec<A>) {
+        self.replace_all_with(actors.into_iter().map(|a| (a, None)).collect());
+    }
+
+    /// Replaces every shard's actor together with its journaling
+    /// state — the recovered-restart path, where each shard gets the
+    /// actor its log rebuilt plus the reopened log itself.
+    pub(crate) fn replace_all_with(&self, actors: Vec<(A, Option<ShardWal<A>>)>) {
         assert_eq!(actors.len(), self.shards.len(), "one replacement actor per shard");
-        for (s, a) in self.shards.iter().zip(actors) {
-            let _ = s.tx.send(Event::Replace(a));
+        for (s, (a, w)) in self.shards.iter().zip(actors) {
+            let _ = s.tx.send(Event::Replace(a, w));
         }
     }
 
@@ -689,6 +705,9 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
             frames_sent,
             frames_abandoned,
             outbound_dropped,
+            // The host is actor-agnostic; the node runtime owns the
+            // per-shard WAL counters and fills this in.
+            wal: None,
         }
     }
 
@@ -827,11 +846,17 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
 /// One shard's sequential actor driver: applies events in arrival order
 /// and maps the drained [`HostEffect`]s onto sockets, timers and the
 /// completion log.
+///
+/// When the shard carries a [`ShardWal`], every delivery is journaled
+/// **before** it is applied (write-ahead), and the pending group-commit
+/// batch is fsynced as the loop goes idle — so under batched fsync the
+/// durability lag is bounded by the busy burst, not by wall clock.
 #[allow(clippy::too_many_arguments)]
 fn event_loop<A: Actor<Msg> + Send + 'static>(
     pid: ProcessId,
     shard: usize,
     mut actor: A,
+    mut wal: Option<ShardWal<A>>,
     rx: Receiver<Event<A>>,
     loopbacks: Vec<Sender<Event<A>>>,
     router: ShardRouter,
@@ -844,19 +869,45 @@ fn event_loop<A: Actor<Msg> + Send + 'static>(
 ) {
     let mut rng = StdRng::seed_from_u64(pid.0 as u64 ^ 0xA1E5_0000 ^ ((shard as u64) << 40));
     let mut paused = false;
-    // lint: allow(loop-blocking, reason = "the loop's own park point: blocking here means the shard is idle, not stalled mid-event")
-    while let Ok(ev) = rx.recv() {
+    loop {
+        let ev = match rx.try_recv() {
+            Ok(ev) => ev,
+            Err(TryRecvError::Empty) => {
+                // Going idle: flush the journal's group-commit batch
+                // before parking, so batched fsync never leaves
+                // acknowledged records unsynced across an idle gap.
+                if let Some(w) = wal.as_mut() {
+                    w.idle_sync();
+                }
+                // lint: allow(loop-blocking, reason = "the loop's own park point: blocking here means the shard is idle, not stalled mid-event")
+                match rx.recv() {
+                    Ok(ev) => ev,
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => return,
+        };
         match ev {
             Event::Shutdown => return,
             Event::Pause => paused = true,
             Event::Resume => paused = false,
-            Event::Replace(a) => actor = a,
+            Event::Replace(a, w) => {
+                actor = a;
+                wal = w;
+            }
             Event::Deliver { from, msg, counted } => {
                 if counted {
                     inbound.fetch_sub(1, Ordering::SeqCst);
                 }
                 if paused {
                     continue;
+                }
+                // Write-ahead: journal the delivery against the
+                // pre-application actor state (a due checkpoint then
+                // excludes `msg`, and the appended record re-applies
+                // it on replay).
+                if let Some(w) = wal.as_mut() {
+                    w.journal(from, &msg, &actor);
                 }
                 counters.events_applied.fetch_add(1, Ordering::SeqCst);
                 if counted {

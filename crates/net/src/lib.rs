@@ -16,6 +16,10 @@
 //!   deadline timer threads deliver `timer_after` wakeups, and outbound
 //!   sends go through a reconnecting connection pool whose writers
 //!   drain in adaptively-batched writes (one flush per drained batch);
+//! * [`wal`] — durability glue to `ares-wal`: per-shard write-ahead
+//!   journaling of applied events, periodic checkpoints, and
+//!   replay-then-delta-repair crash recovery for [`ShardedNode`]
+//!   (opt in per cluster with `testing::ClusterBuilder::durable`);
 //! * [`RemoteClient`] — drives client operations (read / write /
 //!   reconfig) against a live cluster and returns the same
 //!   [`ares_types::OpCompletion`] records the harness checkers consume;
@@ -53,6 +57,7 @@ mod host;
 mod runtime;
 mod sync;
 pub mod testing;
+pub mod wal;
 
 pub use codec::{DecodeError, WireDecode, WireEncode, MAX_FRAME_LEN, WIRE_VERSION};
 pub use host::{NodeStats, ShardStats};
@@ -60,3 +65,4 @@ pub use runtime::{
     AddrBook, NetSession, NetStore, NetTicket, NodeRuntime, RemoteClient, ShardedNode,
     DEFAULT_OP_TIMEOUT, ENV,
 };
+pub use wal::{FsyncPolicy, RecoveryReport, WalConfig, WalStats};

@@ -11,13 +11,16 @@
 //! counters snapshot via [`LocalCluster::node_stats`].
 
 use crate::runtime::{AddrBook, NodeRuntime, RemoteClient, ENV};
+use crate::wal::{RecoveryReport, WalConfig};
 use ares_core::{ClientConfig, Msg, RepairMsg};
 use ares_types::{ConfigId, ConfigRegistry, Configuration, ObjectId, ProcessId};
+use ares_wal::TempDir;
 use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Builder for a [`LocalCluster`].
 pub struct ClusterBuilder {
@@ -27,6 +30,7 @@ pub struct ClusterBuilder {
     direct_transfer: bool,
     backoff_unit: Option<ares_types::Time>,
     shards: usize,
+    wal: Option<WalConfig>,
 }
 
 impl ClusterBuilder {
@@ -45,7 +49,21 @@ impl ClusterBuilder {
             direct_transfer: false,
             backoff_unit: None,
             shards: 1,
+            wal: None,
         }
+    }
+
+    /// Gives every server node durable state: per-shard write-ahead
+    /// logs under an automatically created temp dir
+    /// (`<root>/node-<pid>/shard-<i>/`), removed when the
+    /// [`LocalCluster`] drops. Killed nodes can then come back via
+    /// [`LocalCluster::restart_recovered`] — replay the local log,
+    /// repair only the delta — instead of the blank-restart path that
+    /// refetches everything.
+    #[must_use]
+    pub fn durable(mut self, wal: WalConfig) -> Self {
+        self.wal = Some(wal);
+        self
     }
 
     /// Partitions every server node over `shards` event-loop shards
@@ -117,13 +135,31 @@ impl ClusterBuilder {
         let book = Arc::new(book);
         let epoch = Instant::now();
 
+        // When the deployment is durable, every node gets its own data
+        // dir under one temp root; the root's [`TempDir`] guard lives in
+        // the cluster so dropping it cleans the logs up.
+        let wal_root = match self.wal {
+            Some(_) => Some(TempDir::new("ares-cluster")?),
+            None => None,
+        };
+
         let mut nodes = HashMap::new();
         for &pid in &server_pids {
             // lint: allow(net-panic, reason = "infallible: every server pid was bound into `listeners` in the loop above")
             let l = listeners.remove(&pid).expect("bound above");
-            nodes.insert(
-                pid,
-                NodeRuntime::serve_sharded(
+            let node = match (&self.wal, &wal_root) {
+                (Some(wal), Some(root)) => NodeRuntime::serve_sharded_durable(
+                    pid,
+                    registry.clone(),
+                    book.clone(),
+                    l,
+                    epoch,
+                    Some(&self.objects),
+                    self.shards,
+                    &root.path().join(format!("node-{}", pid.0)),
+                    *wal,
+                )?,
+                _ => NodeRuntime::serve_sharded(
                     pid,
                     registry.clone(),
                     book.clone(),
@@ -132,7 +168,8 @@ impl ClusterBuilder {
                     Some(&self.objects),
                     self.shards,
                 )?,
-            );
+            };
+            nodes.insert(pid, node);
         }
         let mut clients = HashMap::new();
         for &pid in &self.clients {
@@ -150,7 +187,14 @@ impl ClusterBuilder {
                 RemoteClient::serve(pid, registry.clone(), cfg, book.clone(), l, epoch)?,
             );
         }
-        Ok(LocalCluster { registry, book, nodes, clients })
+        Ok(LocalCluster {
+            registry,
+            book,
+            nodes,
+            clients,
+            objects: self.objects,
+            _wal_root: wal_root,
+        })
     }
 }
 
@@ -160,6 +204,10 @@ pub struct LocalCluster {
     book: Arc<AddrBook>,
     nodes: HashMap<ProcessId, NodeRuntime>,
     clients: HashMap<ProcessId, RemoteClient>,
+    objects: Vec<ObjectId>,
+    /// Keeps the durable deployment's temp root alive (and deletes it on
+    /// drop); `None` for in-memory deployments.
+    _wal_root: Option<TempDir>,
 }
 
 impl LocalCluster {
@@ -275,6 +323,72 @@ impl LocalCluster {
         let node = self.nodes.get(&ProcessId(pid)).expect("server pid");
         node.replace_blank();
         node.resume();
+    }
+
+    /// Restarts a killed *durable* server from its write-ahead logs:
+    /// replays checkpoint + tail into fresh actors, resumes the node,
+    /// and then triggers fragment repair for every `(cfg, obj)` the
+    /// node serves so the delta written while it was down — and any
+    /// suffix a torn or corrupt log lost — is refetched from live
+    /// peers. Returns the per-shard replay reports.
+    ///
+    /// The node must have been [`LocalCluster::kill`]ed first: recovery
+    /// swaps the actors out from under the event loops, which is only
+    /// safe while they are paused and journaling nothing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node was started without [`ClusterBuilder::durable`]
+    /// or its logs cannot be reopened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn restart_recovered(&self, pid: u32) -> io::Result<Vec<RecoveryReport>> {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
+        let node = self.nodes.get(&ProcessId(pid)).expect("server pid");
+        self.quiesce(node);
+        let reports = node.replace_recovered()?;
+        node.resume();
+        for cfg in self.registry.ids() {
+            if self.registry.get(cfg).server_index(ProcessId(pid)).is_none() {
+                continue;
+            }
+            for &obj in &self.objects {
+                self.trigger_repair(pid, cfg.0, obj.0);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Waits until `node`'s event loops stop making progress, so that
+    /// in-flight deliveries racing a [`LocalCluster::kill`] have either
+    /// been journaled or discarded before recovery reads the logs.
+    fn quiesce(&self, node: &NodeRuntime) {
+        let fingerprint = |s: &crate::NodeStats| {
+            (s.events_applied(), s.wal.map(|w| w.records_appended).unwrap_or(0))
+        };
+        let mut last = fingerprint(&node.stats());
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            let cur = fingerprint(&node.stats());
+            if cur == last {
+                return;
+            }
+            last = cur;
+        }
+    }
+
+    /// The durable data dir of server `pid` (hostile-crash tests reach
+    /// in here to tear, corrupt, or delete log files between a kill and
+    /// a recovery); `None` for in-memory deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a server of this cluster.
+    pub fn data_dir(&self, pid: u32) -> Option<PathBuf> {
+        // lint: allow(net-panic, reason = "documented panic contract (# Panics): harness lookup of a locally declared server")
+        self.nodes.get(&ProcessId(pid)).expect("server pid").data_dir().map(Path::to_path_buf)
     }
 
     /// Asks server `pid` to rebuild its coded elements for `(cfg, obj)`
