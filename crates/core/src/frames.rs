@@ -123,17 +123,34 @@ pub(crate) struct ReadNextFrame {
     rpc: RpcId,
     replies: Vec<ProcessId>,
     best: Option<ConfigEntry>,
+    retries: u32,
 }
 
 impl ReadNextFrame {
     fn new(base: Arc<ares_types::Configuration>) -> Self {
-        ReadNextFrame { base, rpc: RpcId(0), replies: Vec::new(), best: None }
+        ReadNextFrame { base, rpc: RpcId(0), replies: Vec::new(), best: None, retries: 0 }
+    }
+
+    fn sends(&self, env: &Env<'_>) -> Vec<(ProcessId, Msg)> {
+        let msg = CfgMsg::ReadConfig { base: self.base.id, rpc: self.rpc, op: env.op };
+        self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect()
     }
 
     fn start(&mut self, env: &mut Env<'_>) -> FStep {
         self.rpc = env.fresh_rpc();
-        let msg = CfgMsg::ReadConfig { base: self.base.id, rpc: self.rpc, op: env.op };
-        FStep::sends(self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect())
+        let mut step = FStep::sends(self.sends(env));
+        // A quorum phase over lossy channels: retransmit verbatim under
+        // the same rpc until replies assemble (servers answer read-config
+        // idempotently, duplicate replies are deduplicated above).
+        step.timer = Some((env.backoff_unit * 4) << self.retries.min(6));
+        step
+    }
+
+    fn on_timer(&mut self, env: &mut Env<'_>) -> FStep {
+        self.retries += 1;
+        let mut step = FStep::sends(self.sends(env));
+        step.timer = Some((env.backoff_unit * 4) << self.retries.min(6));
+        step
     }
 
     fn on_msg(&mut self, from: ProcessId, msg: &Msg) -> FStep {
@@ -183,22 +200,39 @@ pub(crate) struct PutConfigFrame {
     entry: ConfigEntry,
     rpc: RpcId,
     acks: Vec<ProcessId>,
+    retries: u32,
 }
 
 impl PutConfigFrame {
     fn new(base: Arc<ares_types::Configuration>, entry: ConfigEntry) -> Self {
-        PutConfigFrame { base, entry, rpc: RpcId(0), acks: Vec::new() }
+        PutConfigFrame { base, entry, rpc: RpcId(0), acks: Vec::new(), retries: 0 }
     }
 
-    fn start(&mut self, env: &mut Env<'_>) -> FStep {
-        self.rpc = env.fresh_rpc();
+    fn sends(&self, env: &Env<'_>) -> Vec<(ProcessId, Msg)> {
         let msg = CfgMsg::WriteConfig {
             base: self.base.id,
             entry: self.entry,
             rpc: self.rpc,
             op: env.op,
         };
-        FStep::sends(self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect())
+        self.base.servers.iter().map(|&s| (s, Msg::Cfg(msg.clone()))).collect()
+    }
+
+    fn start(&mut self, env: &mut Env<'_>) -> FStep {
+        self.rpc = env.fresh_rpc();
+        let mut step = FStep::sends(self.sends(env));
+        // Same retransmission discipline as read-next-config: nextC
+        // writes are idempotent (servers keep the max), so resending
+        // under the same rpc is safe and survives lossy links.
+        step.timer = Some((env.backoff_unit * 4) << self.retries.min(6));
+        step
+    }
+
+    fn on_timer(&mut self, env: &mut Env<'_>) -> FStep {
+        self.retries += 1;
+        let mut step = FStep::sends(self.sends(env));
+        step.timer = Some((env.backoff_unit * 4) << self.retries.min(6));
+        step
     }
 
     fn on_msg(&mut self, from: ProcessId, msg: &Msg) -> FStep {
@@ -868,6 +902,8 @@ impl Frame {
             Frame::Dap(f) => f.on_timer(env),
             Frame::Propose(f) => f.on_timer(env),
             Frame::Transfer(f) => f.on_timer(env),
+            Frame::ReadNext(f) => f.on_timer(env),
+            Frame::PutConfig(f) => f.on_timer(env),
             _ => FStep::idle(),
         }
     }

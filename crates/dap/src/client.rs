@@ -37,9 +37,10 @@ pub struct DapCtx {
     pub me: ProcessId,
     /// The client operation this call belongs to.
     pub op: OpId,
-    /// Base retry interval for the TREAS `get-data` wait condition;
-    /// retry `r` waits `retry_interval · 2^min(r,6)` (exponential with
-    /// a cap). A *fixed* interval congestion-collapses on a real
+    /// Base retry interval for phase retransmissions (every phase arms
+    /// one; TREAS `get-data` additionally uses it for its wait
+    /// condition); retry `r` waits `retry_interval · 2^min(r,6)`
+    /// (exponential with a cap). A *fixed* interval congestion-collapses on a real
     /// network: each retry re-broadcasts under a fresh phase id and
     /// discards the partial quorum, so once load pushes the effective
     /// round trip past the interval, every reply arrives stale and the
@@ -66,14 +67,14 @@ enum Inner {
     AbdGetData { replies: Vec<ProcessId>, best: TagValue },
     AbdPut { acks: Vec<ProcessId> },
     TreasGetTag { replies: Vec<ProcessId>, max: Tag },
-    TreasGetData { lists: HashMap<ProcessId, Vec<ListEntry>>, timer_armed: bool, retries: u32 },
+    TreasGetData { lists: HashMap<ProcessId, Vec<ListEntry>> },
     TreasPut { acks: Vec<ProcessId> },
     LdrGetTag { replies: Vec<ProcessId>, max: Tag },
     LdrPutData { tag: Tag, acks: Vec<ProcessId> },
-    LdrPutMeta { acks: Vec<ProcessId> },
+    LdrPutMeta { tag: Tag, locs: Vec<ProcessId>, acks: Vec<ProcessId> },
     LdrReadQuery { replies: Vec<ProcessId>, best: (Tag, Vec<ProcessId>) },
     LdrReadMeta { best: (Tag, Vec<ProcessId>), acks: Vec<ProcessId> },
-    LdrReadFetch { tag: Tag },
+    LdrReadFetch { tag: Tag, targets: Vec<ProcessId> },
     Done,
 }
 
@@ -82,15 +83,19 @@ pub struct DapCall {
     ctx: DapCtx,
     rpc: RpcId,
     inner: Inner,
-    /// Pending `put-data` pair (kept across LDR's two phases).
+    /// Pending `put-data` pair (kept for retransmission, and across
+    /// LDR's two phases).
     put: Option<TagValue>,
+    /// Retry rounds performed so far (all phases; exponential backoff).
+    retransmits: u32,
 }
 
 impl DapCall {
     /// Starts a primitive call. `rpc_counter` is the caller's monotone
     /// phase-id counter (bumped for every broadcast phase).
     pub fn start(ctx: DapCtx, action: DapAction, rpc_counter: &mut u64) -> (Self, DapStep) {
-        let mut call = DapCall { ctx, rpc: RpcId(0), inner: Inner::Done, put: None };
+        let mut call =
+            DapCall { ctx, rpc: RpcId(0), inner: Inner::Done, put: None, retransmits: 0 };
         let step = match (&call.ctx.cfg.dap, action) {
             (DapKind::Abd, DapAction::GetTag) => {
                 call.inner = Inner::AbdGetTag { replies: Vec::new(), max: TAG0 };
@@ -102,15 +107,15 @@ impl DapCall {
             }
             (DapKind::Abd, DapAction::PutData(tv)) => {
                 call.inner = Inner::AbdPut { acks: Vec::new() };
-                call.broadcast_all(DapBody::AbdWrite(tv.tag, tv.value.clone()), rpc_counter)
+                call.put = Some(tv.clone());
+                call.broadcast_all(DapBody::AbdWrite(tv.tag, tv.value), rpc_counter)
             }
             (DapKind::Treas { .. }, DapAction::GetTag) => {
                 call.inner = Inner::TreasGetTag { replies: Vec::new(), max: TAG0 };
                 call.broadcast_all(DapBody::TreasQueryTag, rpc_counter)
             }
             (DapKind::Treas { .. }, DapAction::GetData) => {
-                call.inner =
-                    Inner::TreasGetData { lists: HashMap::new(), timer_armed: false, retries: 0 };
+                call.inner = Inner::TreasGetData { lists: HashMap::new() };
                 call.broadcast_all(DapBody::TreasQueryList, rpc_counter)
             }
             (DapKind::Treas { .. }, DapAction::PutData(tv)) => {
@@ -155,28 +160,39 @@ impl DapCall {
         *rpc_counter += 1;
         self.rpc = RpcId(*rpc_counter);
         let hdr = self.hdr();
+        // Every phase broadcast arms a retransmit timer: quorum messages
+        // travel over channels that faults may cut, so a phase whose
+        // requests (or replies) are lost must re-send rather than wait
+        // forever (see `on_timer`). The delay is exponential in the
+        // rounds already retried, capped.
         Step::sends(targets.into_iter().map(|s| (s, DapMsg::new(hdr, body.clone()))).collect())
+            .with_timer(self.ctx.retry_interval << self.retransmits.min(6))
     }
 
     fn treas_put_broadcast(&mut self, tv: TagValue, rpc_counter: &mut u64) -> DapStep {
         *rpc_counter += 1;
         self.rpc = RpcId(*rpc_counter);
         let hdr = self.hdr();
+        let sends = self.treas_put_sends(hdr, &tv);
+        self.put = Some(tv);
+        Step::sends(sends).with_timer(self.ctx.retry_interval << self.retransmits.min(6))
+    }
+
+    /// The per-server coded fan-out of a TREAS `put-data`.
+    fn treas_put_sends(&self, hdr: Hdr, tv: &TagValue) -> Vec<(ProcessId, DapMsg)> {
         let code = build_code(self.ctx.cfg.code_params())
             // lint: allow(net-panic, reason = "infallible: this client was constructed from a registry-vetted configuration whose code parameters build")
             .expect("configuration carries valid code parameters");
         // Zero-copy fan-out: systematic fragments are views of the
         // value's own allocation (see `ErasureCode::encode_value`).
         let frags = code.encode_value(tv.value.bytes());
-        Step::sends(
-            self.ctx
-                .cfg
-                .servers
-                .iter()
-                .zip(frags)
-                .map(|(&s, f)| (s, DapMsg::new(hdr, DapBody::TreasWrite(tv.tag, f))))
-                .collect(),
-        )
+        self.ctx
+            .cfg
+            .servers
+            .iter()
+            .zip(frags)
+            .map(|(&s, f)| (s, DapMsg::new(hdr, DapBody::TreasWrite(tv.tag, f))))
+            .collect()
     }
 
     /// The quorum size of the configuration's own quorum system.
@@ -249,7 +265,7 @@ impl DapCall {
                     Step::idle()
                 }
             }
-            (Inner::TreasGetData { lists, timer_armed, retries }, DapBody::TreasList(l)) => {
+            (Inner::TreasGetData { lists }, DapBody::TreasList(l)) => {
                 lists.insert(from, l.clone());
                 if lists.len() < quorum {
                     return Step::idle();
@@ -260,18 +276,11 @@ impl DapCall {
                         self.inner = Inner::Done;
                         Step::done(DapOutput::TagValue(tv))
                     }
-                    None => {
-                        // Not yet decodable: keep waiting for stragglers
-                        // and arm one retry timer (exponential in the
-                        // retry count — see `DapCtx::retry_interval`).
-                        if !*timer_armed {
-                            *timer_armed = true;
-                            let delay = self.ctx.retry_interval << (*retries).min(6);
-                            Step::idle().with_timer(delay)
-                        } else {
-                            Step::idle()
-                        }
-                    }
+                    // Not yet decodable: keep waiting for stragglers. The
+                    // retry timer armed by the phase broadcast is still
+                    // pending and triggers the re-query (exponential in
+                    // the retry count — see `DapCtx::retry_interval`).
+                    None => Step::idle(),
                 }
             }
             (Inner::LdrGetTag { replies, max }, DapBody::LdrTagLoc(t, _)) => {
@@ -297,7 +306,7 @@ impl DapCall {
                     // Phase 2: PUT-METADATA(τ, U) to all directories.
                     let tag = *tag;
                     let locs = acks.clone();
-                    self.inner = Inner::LdrPutMeta { acks: Vec::new() };
+                    self.inner = Inner::LdrPutMeta { tag, locs: locs.clone(), acks: Vec::new() };
                     self.broadcast_to(
                         self.ctx.cfg.ldr_directories().to_vec(),
                         DapBody::LdrPutMeta(tag, locs),
@@ -307,7 +316,7 @@ impl DapCall {
                     Step::idle()
                 }
             }
-            (Inner::LdrPutMeta { acks }, DapBody::LdrPutMetaAck) => {
+            (Inner::LdrPutMeta { acks, .. }, DapBody::LdrPutMetaAck) => {
                 if collect_ack(acks, from, quorum) {
                     self.inner = Inner::Done;
                     Step::done(DapOutput::Ack)
@@ -349,13 +358,13 @@ impl DapCall {
                     // lint: allow(net-panic, reason = "internal invariant: the LdrGetData phase only exists for LDR-coded configurations")
                     let DapKind::Ldr { f } = self.ctx.cfg.dap else { unreachable!() };
                     let targets: Vec<ProcessId> = locs.into_iter().take(f + 1).collect();
-                    self.inner = Inner::LdrReadFetch { tag };
+                    self.inner = Inner::LdrReadFetch { tag, targets: targets.clone() };
                     self.broadcast_to(targets, DapBody::LdrGetData(tag), rpc_counter)
                 } else {
                     Step::idle()
                 }
             }
-            (Inner::LdrReadFetch { tag }, DapBody::LdrData(t, v)) if t == tag => {
+            (Inner::LdrReadFetch { tag, .. }, DapBody::LdrData(t, v)) if t == tag => {
                 let out = TagValue::new(*t, v.clone());
                 self.inner = Inner::Done;
                 Step::done(DapOutput::TagValue(out))
@@ -364,25 +373,74 @@ impl DapCall {
         }
     }
 
-    /// Handles the retry timer (TREAS `get-data` only): re-broadcasts the
-    /// `QUERY-LIST` with a fresh phase id.
+    /// Handles the retry timer of the current phase.
+    ///
+    /// * **TREAS `get-data`** re-broadcasts the `QUERY-LIST` under a
+    ///   *fresh* phase id, discarding the partial quorum: its wait
+    ///   condition evaluates whole list-sets, and a stale snapshot can
+    ///   pin `t^*_max` above what is decodable (see
+    ///   `DapCtx::retry_interval`).
+    /// * **Every other phase** retransmits its request verbatim under the
+    ///   *same* phase id — collected replies keep counting, duplicate
+    ///   requests are answered idempotently by the servers and duplicate
+    ///   replies are deduplicated by sender — so quorum progress is never
+    ///   discarded. Without this, a single lost frame (cut link, gray
+    ///   node, crashed-then-healed route) stalls the operation forever:
+    ///   quorum phases otherwise assume reliable channels.
     pub fn on_timer(&mut self, rpc_counter: &mut u64) -> DapStep {
-        if let Inner::TreasGetData { retries, .. } = &mut self.inner {
-            let r = *retries + 1;
-            self.inner =
-                Inner::TreasGetData { lists: HashMap::new(), timer_armed: false, retries: r };
-            self.broadcast_all(DapBody::TreasQueryList, rpc_counter)
-        } else {
-            Step::idle()
+        match &self.inner {
+            Inner::Done => Step::idle(),
+            Inner::TreasGetData { .. } => {
+                self.retransmits += 1;
+                self.inner = Inner::TreasGetData { lists: HashMap::new() };
+                self.broadcast_all(DapBody::TreasQueryList, rpc_counter)
+            }
+            _ => {
+                self.retransmits += 1;
+                let sends = self.resend();
+                Step::sends(sends).with_timer(self.ctx.retry_interval << self.retransmits.min(6))
+            }
         }
     }
 
-    /// Number of TREAS `get-data` retry rounds performed.
-    pub fn retries(&self) -> u32 {
+    /// Rebuilds the current phase's outbound messages verbatim (same
+    /// phase id, same targets) for a loss-recovery retransmission.
+    fn resend(&self) -> Vec<(ProcessId, DapMsg)> {
+        let hdr = self.hdr();
+        let msgs = |targets: &[ProcessId], body: DapBody| -> Vec<(ProcessId, DapMsg)> {
+            targets.iter().map(|&s| (s, DapMsg::new(hdr, body.clone()))).collect()
+        };
+        // lint: allow(net-panic, reason = "internal invariant: put phases store their pair at start(); hostile bytes cannot reach this")
+        let put = || self.put.as_ref().expect("put phase retains its pair");
         match &self.inner {
-            Inner::TreasGetData { retries, .. } => *retries,
-            _ => 0,
+            Inner::AbdGetTag { .. } => msgs(&self.ctx.cfg.servers, DapBody::AbdQueryTag),
+            Inner::AbdGetData { .. } => msgs(&self.ctx.cfg.servers, DapBody::AbdQuery),
+            Inner::AbdPut { .. } => {
+                let tv = put();
+                msgs(&self.ctx.cfg.servers, DapBody::AbdWrite(tv.tag, tv.value.clone()))
+            }
+            Inner::TreasGetTag { .. } => msgs(&self.ctx.cfg.servers, DapBody::TreasQueryTag),
+            Inner::TreasPut { .. } => self.treas_put_sends(hdr, put()),
+            Inner::LdrGetTag { .. } | Inner::LdrReadQuery { .. } => {
+                msgs(&self.ctx.cfg.servers, DapBody::LdrQueryTagLoc)
+            }
+            Inner::LdrPutData { tag, .. } => {
+                msgs(self.ctx.cfg.ldr_replicas(), DapBody::LdrPutData(*tag, put().value.clone()))
+            }
+            Inner::LdrPutMeta { tag, locs, .. } => {
+                msgs(self.ctx.cfg.ldr_directories(), DapBody::LdrPutMeta(*tag, locs.clone()))
+            }
+            Inner::LdrReadMeta { best, .. } => {
+                msgs(self.ctx.cfg.ldr_directories(), DapBody::LdrPutMeta(best.0, best.1.clone()))
+            }
+            Inner::LdrReadFetch { tag, targets } => msgs(targets, DapBody::LdrGetData(*tag)),
+            Inner::TreasGetData { .. } | Inner::Done => Vec::new(),
         }
+    }
+
+    /// Number of retry rounds performed across the call's phases.
+    pub fn retries(&self) -> u32 {
+        self.retransmits
     }
 }
 

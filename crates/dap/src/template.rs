@@ -151,10 +151,12 @@ impl RegisterCall {
         out
     }
 
-    /// Feeds a timer expiration (TREAS read retry).
+    /// Feeds a timer expiration (phase retransmission).
     pub fn on_timer(&mut self, rpc_counter: &mut u64) -> RegStep {
         let step = self.call.on_timer(rpc_counter);
-        Step::sends(step.sends)
+        let mut out = Step::sends(step.sends);
+        out.timer_after = step.timer_after;
+        out
     }
 }
 

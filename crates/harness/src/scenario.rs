@@ -8,7 +8,10 @@
 //! the tests, experiments and benches consume.
 
 use ares_core::{ClientActor, ClientCmd, ClientConfig, Msg, ServerActor, TransferMode};
-use ares_sim::{DelayBounds, NetworkConfig, RunOutcome, TraceEvent, World};
+use ares_sim::{
+    DelayBounds, FaultAction, FaultSchedule, LatencyModel, NetworkConfig, RunOutcome, TraceEvent,
+    World,
+};
 use ares_types::{
     ConfigId, ConfigRegistry, Configuration, ObjectId, OpCompletion, ProcessId, Time, Value,
 };
@@ -40,6 +43,10 @@ pub struct Scenario {
     repairs: Vec<(Time, ProcessId, ObjectId, ConfigId)>,
     d: Time,
     big_d: Time,
+    latency_model: Option<LatencyModel>,
+    faults: FaultSchedule,
+    duplicate_per_mille: u32,
+    reorder: Option<(u32, Time)>,
     seed: u64,
     trace: bool,
     transfer_mode: TransferMode,
@@ -65,6 +72,10 @@ impl Scenario {
             repairs: Vec::new(),
             d: 10,
             big_d: 50,
+            latency_model: None,
+            faults: FaultSchedule::new(),
+            duplicate_per_mille: 0,
+            reorder: None,
             seed: 0,
             trace: false,
             transfer_mode: TransferMode::Plain,
@@ -105,6 +116,53 @@ impl Scenario {
     #[must_use]
     pub fn event_limit(mut self, limit: u64) -> Self {
         self.event_limit = Some(limit);
+        self
+    }
+
+    /// Replaces the default uniform `[d, D]` link with an arbitrary
+    /// latency model (e.g. [`LatencyModel::wan`] for a heavy-tailed WAN
+    /// profile). Per-client overrides still apply on top.
+    #[must_use]
+    pub fn latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency_model = Some(model);
+        self
+    }
+
+    /// Schedules a fault-plane action at simulated time `at`.
+    #[must_use]
+    pub fn fault_at(mut self, at: Time, action: FaultAction) -> Self {
+        self.faults = self.faults.at(at, action);
+        self
+    }
+
+    /// Schedules a fault-plane action after `step` processed events.
+    #[must_use]
+    pub fn fault_at_step(mut self, step: u64, action: FaultAction) -> Self {
+        self.faults = self.faults.at_step(step, action);
+        self
+    }
+
+    /// Installs a pre-built fault schedule (appended to any `fault_at`
+    /// calls).
+    #[must_use]
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults.events.extend(schedule.events);
+        self
+    }
+
+    /// Enables probabilistic message duplication from time 0.
+    #[must_use]
+    pub fn duplication(mut self, per_mille: u32) -> Self {
+        self.duplicate_per_mille = per_mille;
+        self
+    }
+
+    /// Enables bounded reorder from time 0: with probability
+    /// `per_mille`/1000 a message is held back up to `extra_max` extra
+    /// time units.
+    #[must_use]
+    pub fn reorder(mut self, per_mille: u32, extra_max: Time) -> Self {
+        self.reorder = Some((per_mille, extra_max));
         self
     }
 
@@ -233,11 +291,19 @@ impl Scenario {
         let servers = self.all_servers();
         let objects = self.all_objects();
         let registry = ConfigRegistry::from_configs(self.configs);
-        let mut net = NetworkConfig::uniform(self.d, self.big_d);
+        let model = self
+            .latency_model
+            .unwrap_or(LatencyModel::Uniform(DelayBounds::new(self.d, self.big_d)));
+        let mut net = NetworkConfig::with_model(model);
         for (pid, bounds) in &self.client_delay_overrides {
             net = net.with_client_bounds(*pid, *bounds);
         }
+        net.duplicate_per_mille = self.duplicate_per_mille;
+        if let Some((pm, extra)) = self.reorder {
+            net = net.with_reorder(pm, extra);
+        }
         let mut world: World<Msg> = World::new(net, self.seed);
+        world.install_faults(&self.faults);
         if self.trace {
             world.enable_trace();
         }
@@ -250,6 +316,11 @@ impl Scenario {
         for (pid, cfg) in &self.clients {
             let mut cfg = cfg.clone().with_objects(objects.clone());
             cfg.transfer_mode = self.transfer_mode;
+            // The retransmit timer (first fire at 4× the unit) must sit
+            // above the worst-case round trip 2D, or a slow-but-healthy
+            // quorum phase gets spuriously restarted and the Lemma 23/55
+            // action bounds no longer hold.
+            cfg.backoff_unit = cfg.backoff_unit.max(self.big_d);
             world.add_actor(*pid, ClientActor::new(registry.clone(), cfg));
         }
         for (at, pid) in &self.crashes {
@@ -284,6 +355,8 @@ impl Scenario {
             storage_bytes: storage,
             trace: world.trace().to_vec(),
             scheduled_ops: self.invocations.len(),
+            faults_injected: world.metrics().faults_injected(),
+            events_processed: world.events_processed(),
         }
     }
 }
@@ -307,6 +380,11 @@ pub struct ScenarioResult {
     pub trace: Vec<TraceEvent>,
     /// Number of operations that were scheduled.
     pub scheduled_ops: usize,
+    /// Fault-plane interference events (drops + duplicates + reorders +
+    /// schedule actions).
+    pub faults_injected: u64,
+    /// Simulator events processed (for event-budget assertions).
+    pub events_processed: u64,
 }
 
 impl ScenarioResult {

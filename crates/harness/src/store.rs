@@ -15,7 +15,7 @@
 
 use ares_core::store::{session_op_seq, Store, StoreSession};
 use ares_core::{ClientActor, ClientCmd, Invoke, Msg, OpError, OpTicket, ServerActor};
-use ares_sim::{NetworkConfig, RunOutcome, World};
+use ares_sim::{FaultAction, FaultSchedule, LatencyModel, NetworkConfig, RunOutcome, World};
 use ares_types::{
     ConfigRegistry, Configuration, ObjectId, OpCompletion, OpId, ProcessId, SessionId, Time,
 };
@@ -34,6 +34,8 @@ pub struct SimStoreBuilder {
     seed: u64,
     d: Time,
     big_d: Time,
+    latency_model: Option<LatencyModel>,
+    faults: FaultSchedule,
     direct_transfer: bool,
     event_limit: Option<u64>,
 }
@@ -54,6 +56,8 @@ impl SimStoreBuilder {
             seed: 0,
             d: 10,
             big_d: 50,
+            latency_model: None,
+            faults: FaultSchedule::new(),
             direct_transfer: false,
             event_limit: None,
         }
@@ -90,6 +94,21 @@ impl SimStoreBuilder {
         self
     }
 
+    /// Replaces the default uniform `[d, D]` link with an arbitrary
+    /// latency model (e.g. [`LatencyModel::wan`]).
+    #[must_use]
+    pub fn latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency_model = Some(model);
+        self
+    }
+
+    /// Installs a fault schedule, fired deterministically mid-run.
+    #[must_use]
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults.events.extend(schedule.events);
+        self
+    }
+
     /// Uses the ARES-TREAS direct state transfer for reconfigurations.
     #[must_use]
     pub fn direct_transfer(mut self) -> Self {
@@ -121,8 +140,11 @@ impl SimStoreBuilder {
         let servers: BTreeSet<ProcessId> =
             self.configs.iter().flat_map(|c| c.servers.iter().copied()).collect();
         let registry = ConfigRegistry::from_configs(self.configs);
-        let mut world: World<Msg> =
-            World::new(NetworkConfig::uniform(self.d, self.big_d), self.seed);
+        let model = self
+            .latency_model
+            .unwrap_or(LatencyModel::Uniform(ares_sim::DelayBounds::new(self.d, self.big_d)));
+        let mut world: World<Msg> = World::new(NetworkConfig::with_model(model), self.seed);
+        world.install_faults(&self.faults);
         if let Some(l) = self.event_limit {
             world.event_limit = l;
         }
@@ -133,6 +155,9 @@ impl SimStoreBuilder {
         if self.direct_transfer {
             cfg = cfg.with_direct_transfer();
         }
+        // Keep the first retransmission (4× the unit) above the worst-case
+        // round trip 2D so healthy-but-slow phases are never restarted.
+        cfg.backoff_unit = cfg.backoff_unit.max(self.big_d);
         world.add_actor(self.client, ClientActor::new(registry, cfg));
         SimStore {
             inner: Rc::new(RefCell::new(SimInner {
@@ -194,6 +219,25 @@ impl SimStore {
     /// Schedules a server recovery at simulated time `at`.
     pub fn schedule_recover(&self, at: Time, pid: u32) {
         self.inner.borrow_mut().world.schedule_recover(at, ProcessId(pid));
+    }
+
+    /// Schedules a fault-plane action at simulated time `at`.
+    pub fn schedule_fault(&self, at: Time, action: FaultAction) {
+        self.inner.borrow_mut().world.schedule_fault(at, action);
+    }
+
+    /// Fault-plane interference events so far (drops + duplicates +
+    /// reorders + schedule actions).
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.borrow().world.metrics().faults_injected()
+    }
+
+    /// Replaces the event budget (livelock guard) on the running world.
+    /// A driver that deliberately ran into the limit — e.g. proving an
+    /// operation cannot finish while its quorum is dead — can extend
+    /// the budget and keep the world going after repairing the fault.
+    pub fn set_event_limit(&self, limit: u64) {
+        self.inner.borrow_mut().world.event_limit = limit;
     }
 
     /// Runs the world until quiescence (or a limit); completions keep
@@ -344,7 +388,10 @@ mod tests {
 
     #[test]
     fn dead_quorum_times_out_only_its_ticket() {
-        let store = SimStore::builder(treas53()).seed(4).build();
+        // A modest event budget: the write below retransmits forever
+        // against the dead quorum, so the world hits the budget (rather
+        // than quiescing) and the ticket surfaces a typed timeout.
+        let store = SimStore::builder(treas53()).seed(4).event_limit(100_000).build();
         let mut a = store.open_session();
         // Crash 2 of 5 servers: the TREAS [5,3] quorum ⌈(5+3)/2⌉ = 4 is
         // unreachable, so the write can never gather its acks.
@@ -353,10 +400,11 @@ mod tests {
         let t = a.write(ObjectId(0), Value::filler(32, 9)).unwrap();
         let err = t.wait().unwrap_err();
         assert!(matches!(err, OpError::Timeout { .. }), "typed timeout, got {err:?}");
-        // The store is not poisoned: recover the servers and a fresh
-        // session completes normally.
+        // The store is not poisoned: recover the servers, extend the
+        // budget, and a fresh session completes normally.
         store.schedule_recover(store.now() + 1, 4);
         store.schedule_recover(store.now() + 1, 5);
+        store.set_event_limit(1_000_000);
         let mut b = store.open_session();
         let t = b.write(ObjectId(0), Value::filler(32, 10)).unwrap();
         t.wait().expect("store usable after a ticket timeout");

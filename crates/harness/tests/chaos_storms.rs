@@ -1,0 +1,125 @@
+//! Big-cluster churn storms: crash/recover waves at the fault-tolerance
+//! boundary rolling through an n = 25 erasure-coded deployment while a
+//! reconfiguration migrates the data to a shifted footprint. Every
+//! history goes through the atomicity checker, every run stays inside a
+//! fixed event budget, and the whole storm is swept across seeds in
+//! parallel.
+
+use ares_harness::{par_seeds, Scenario};
+use ares_sim::{FaultAction, FaultSchedule};
+use ares_types::{ConfigId, Configuration, ProcessId, Time, Value};
+
+/// Hard ceiling on simulator events per run: a liveness bug under churn
+/// (e.g. a retry storm that never converges) blows this long before
+/// wall-clock timeouts would trip.
+const EVENT_BUDGET: u64 = 2_000_000;
+
+fn pids(r: std::ops::RangeInclusive<u32>) -> Vec<ProcessId> {
+    r.map(ProcessId).collect()
+}
+
+/// Genesis TREAS `[25, 9]` on servers 1–25 (quorum 17, tolerates 8
+/// crashes) and a TREAS `[25, 9]` target on servers 6–30: the
+/// reconfiguration drags state across a 30-server footprint while the
+/// storm rolls.
+fn universe() -> Vec<Configuration> {
+    vec![
+        Configuration::treas(ConfigId(0), pids(1..=25), 9, 2),
+        Configuration::treas(ConfigId(1), pids(6..=30), 9, 2),
+    ]
+}
+
+/// A staggered crash wave of exactly the 8-crash tolerance, recovering
+/// while the reconfiguration (scheduled separately at t = 1000) is
+/// still in flight.
+fn storm_schedule() -> FaultSchedule {
+    let mut sched = FaultSchedule::new();
+    for (i, pid) in (1..=8u32).enumerate() {
+        sched = sched.at(300 + 25 * i as Time, FaultAction::Crash { pid: ProcessId(pid) });
+    }
+    for (i, pid) in (1..=8u32).enumerate() {
+        sched = sched.at(2_600 + 25 * i as Time, FaultAction::Recover { pid: ProcessId(pid) });
+    }
+    sched
+}
+
+/// Staggered reads and writes on two clients, overlapping each other,
+/// the crash wave and the reconfiguration.
+fn with_workload(mut s: Scenario, seed: u64) -> Scenario {
+    for ci in 0..2u64 {
+        let client = 100 + ci as u32;
+        for i in 0..4u64 {
+            let at = i as Time * 700 + ci as Time * 130;
+            let obj = ((i + ci) % 2) as u32;
+            if (i + ci) % 3 == 2 {
+                s = s.read_at(at, client, obj);
+            } else {
+                // Globally unique digest per (client, op): keeps the
+                // checker's write identification exact.
+                let vseed = seed ^ (((ci + 1) << 40) | ((i + 1) << 8) | 3);
+                s = s.write_at(at, client, obj, Value::filler(256, vseed));
+            }
+        }
+    }
+    s
+}
+
+fn storm(seed: u64) -> Scenario {
+    let s = Scenario::new(universe())
+        .clients([100, 101])
+        .seed(seed)
+        .fault_schedule(storm_schedule())
+        .recon_at(1_000, 100, 1)
+        .event_limit(EVENT_BUDGET);
+    with_workload(s, seed)
+}
+
+#[test]
+fn churn_storm_sweep_is_atomic_across_seeds() {
+    let seeds: Vec<u64> = (41..=48).collect();
+    let results = par_seeds(&seeds, |seed| storm(seed).run());
+    for (seed, r) in seeds.iter().zip(&results) {
+        r.assert_complete_and_atomic();
+        assert!(
+            r.events_processed < EVENT_BUDGET,
+            "seed {seed} blew the event budget: {} events",
+            r.events_processed
+        );
+        assert!(r.faults_injected > 0, "seed {seed}: the storm must actually interfere");
+    }
+}
+
+#[test]
+fn churn_storm_replays_bit_identically_from_its_seed() {
+    let a = storm(77).run();
+    let b = storm(77).run();
+    assert_eq!(format!("{:?}", a.completions), format!("{:?}", b.completions));
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.faults_injected, b.faults_injected);
+}
+
+#[test]
+fn churn_with_gray_minority_stays_atomic() {
+    // On top of the 8-crash wave, three *surviving* servers turn gray
+    // (20× slower without crashing): the quorum of 17 must now include
+    // them, so progress rides on retransmission and patience, not on a
+    // failure detector evicting anyone.
+    let mut sched = storm_schedule();
+    for pid in 20..=22u32 {
+        sched = sched.at(200, FaultAction::Grayify { pid: ProcessId(pid), factor: 20 });
+    }
+    for pid in 20..=22u32 {
+        sched = sched.at(6_000, FaultAction::Ungray { pid: ProcessId(pid) });
+    }
+    let s = Scenario::new(universe())
+        .clients([100, 101])
+        .seed(91)
+        .fault_schedule(sched)
+        .recon_at(1_000, 100, 1)
+        .event_limit(EVENT_BUDGET);
+    let r = with_workload(s, 91).run();
+    r.assert_complete_and_atomic();
+    assert!(r.events_processed < EVENT_BUDGET);
+}

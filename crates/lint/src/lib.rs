@@ -47,6 +47,7 @@ use std::collections::HashMap;
 /// handler reachable from network bytes (`net-panic` scope).
 pub const PANIC_SCOPE: &[&str] = &[
     "crates/net/src/codec.rs",
+    "crates/net/src/faults.rs",
     "crates/net/src/host.rs",
     "crates/net/src/runtime.rs",
     "crates/net/src/testing.rs",

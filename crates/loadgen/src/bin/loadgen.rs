@@ -8,20 +8,22 @@
 //! documented in README).
 //!
 //! Usage: `cargo run --release -p ares-loadgen --bin loadgen --
-//! [--quick] [--verbose] [--only-shards] [--only-recovery] [--out PATH]
-//! [--sessions-out PATH] [--shards-out PATH] [--recovery-out PATH]`
+//! [--quick] [--verbose] [--only-shards] [--only-recovery]
+//! [--only-chaos] [--out PATH] [--sessions-out PATH] [--shards-out PATH]
+//! [--recovery-out PATH] [--chaos-out PATH]`
 //!
 //! `--quick` shrinks every dimension for CI smoke runs (a few seconds);
 //! the default sizing targets a laptop-scale minute. `--only-shards`
 //! runs just the shard-scaling sweep, `--only-recovery` just the
-//! crash-recovery A/B (both full-size unless `--quick`); `--verbose`
-//! prints every node's per-shard runtime and WAL counters after each
-//! sweep leg.
+//! crash-recovery A/B, `--only-chaos` just the adversarial chaos suite
+//! (all full-size unless `--quick`); `--verbose` prints every node's
+//! per-shard runtime, per-peer outbound queue, and WAL counters after
+//! each sweep leg.
 
 use ares_loadgen::json::JsonWriter;
 use ares_loadgen::wirebench::{abd_write_pipeline, treas_write_pipeline, AbResult};
 use ares_loadgen::{
-    run_cluster, run_cluster_sessions, run_cluster_sharded, run_open_loop_cluster,
+    run_chaos_suite, run_cluster, run_cluster_sessions, run_cluster_sharded, run_open_loop_cluster,
     run_open_loop_sim, run_recovery, run_sim, LatencyHistogram, LoadReport, LoadSpec,
     OpenLoopReport, OpenLoopSpec, RecoveryMode, RecoveryRunReport, RecoverySpec, ShardRunReport,
 };
@@ -65,6 +67,8 @@ fn report_json_body(w: &mut JsonWriter, spec: &LoadSpec, r: &LoadReport) {
     w.u64("objects", spec.objects as u64);
     w.u64("value_bytes", spec.value_size as u64);
     w.u64("read_percent", spec.read_percent as u64);
+    w.f64("zipf_theta", spec.zipf_theta);
+    w.u64("seed", spec.seed);
     w.u64("ops", r.ops);
     w.u64("reads", r.reads);
     w.u64("writes", r.writes);
@@ -100,6 +104,8 @@ fn open_loop_json(w: &mut JsonWriter, backend: &str, spec: &OpenLoopSpec, r: &Op
     w.u64("objects", spec.objects as u64);
     w.u64("value_bytes", spec.value_size as u64);
     w.u64("read_percent", spec.read_percent as u64);
+    w.f64("zipf_theta", spec.zipf_theta);
+    w.u64("seed", spec.seed);
     w.f64("target_ops_per_sec", r.offered_ops_per_sec);
     w.f64("achieved_ops_per_sec", r.achieved_ops_per_sec);
     w.u64("ops", r.ops);
@@ -126,6 +132,17 @@ fn node_stats_json(w: &mut JsonWriter, pid: u32, s: &ares_net::NodeStats) {
     w.f64("frames_per_flush", s.frames_per_flush());
     w.u64("frames_abandoned", s.frames_abandoned);
     w.u64("outbound_dropped", s.outbound_dropped);
+    w.u64("faults_dropped", s.faults_dropped);
+    w.begin_array_key("peers");
+    for p in &s.peers {
+        w.begin_object();
+        w.u64("peer", p.peer.0 as u64);
+        w.u64("queue_depth", p.queue_depth as u64);
+        w.u64("stalled_micros", p.stalled_micros);
+        w.u64("dropped", p.dropped);
+        w.end_object();
+    }
+    w.end_array();
     if let Some(wal) = &s.wal {
         wal_stats_json(w, wal);
     }
@@ -168,6 +185,23 @@ fn print_node_stats(nodes: &[(u32, ares_net::NodeStats)]) {
             s.outbound_dropped,
             s.frames_abandoned
         );
+        if !s.peers.is_empty() {
+            let peers: Vec<String> = s
+                .peers
+                .iter()
+                .map(|p| {
+                    format!(
+                        "p{} q={} stall={}us drop={}",
+                        p.peer.0, p.queue_depth, p.stalled_micros, p.dropped
+                    )
+                })
+                .collect();
+            println!(
+                "  node {pid} peers: {} | faults_dropped {}",
+                peers.join(" | "),
+                s.faults_dropped
+            );
+        }
         if let Some(w) = &s.wal {
             println!(
                 "  node {pid} wal: {} records / {} B logged, {} fsyncs \
@@ -199,6 +233,7 @@ fn run_shard_sweep(quick: bool, verbose: bool, out_path: &str) {
         value_size: 256,
         read_percent: 50,
         ops_per_client: ops,
+        zipf_theta: 0.0,
         seed: 31,
     };
     println!(
@@ -316,6 +351,7 @@ fn run_recovery_sweep(quick: bool, out_path: &str) {
     w.u64("writes_per_object", spec.writes_per_object as u64);
     w.u64("delta_objects", spec.delta_objects as u64);
     w.u64("value_bytes", spec.value_size as u64);
+    w.u64("seed", spec.seed);
     w.begin_array_key("legs");
     for r in &legs {
         w.begin_object();
@@ -346,6 +382,26 @@ fn run_recovery_sweep(quick: bool, out_path: &str) {
             "replay-then-delta-repair must beat repair-from-zero: {speedup:.2}×"
         );
     }
+}
+
+/// The adversarial chaos suite: WAN tails, duplication + reorder, gray
+/// nodes, asymmetric partitions and n=25 churn storms, over both
+/// backends. Every history is atomicity-checked and every sim leg must
+/// replay bit-identically from its recorded seed + schedule; either
+/// failing aborts the run (the CI chaos job relies on that).
+fn run_chaos(quick: bool, out_path: &str) {
+    println!(
+        "\n# chaos suite: WAN tails, dup+reorder, gray nodes, asymmetric partitions, \
+         n=25 churn storms"
+    );
+    let report = run_chaos_suite(quick).expect("chaos bring-up");
+    for s in &report.scenarios {
+        println!("  {}", s.line());
+    }
+    std::fs::write(out_path, report.to_json() + "\n").expect("write chaos json");
+    println!("wrote {out_path}");
+    assert!(report.all_atomic(), "chaos suite recorded a non-atomic or incomplete history");
+    assert!(report.all_reproducible(), "a sim chaos leg failed to replay bit-identically");
 }
 
 fn print_report(kind: &str, name: &str, r: &LoadReport) {
@@ -382,6 +438,12 @@ fn main() {
         run_recovery_sweep(quick, &recovery_out_path);
         return;
     }
+    let chaos_out_path = arg_value(&args, "--chaos-out", "BENCH_chaos.json");
+    if args.iter().any(|a| a == "--only-chaos") {
+        println!("# loadgen (quick={quick}) — adversarial chaos suite only");
+        run_chaos(quick, &chaos_out_path);
+        return;
+    }
     let out_path = arg_value(&args, "--out", "BENCH_throughput.json");
     let sessions_out_path = arg_value(&args, "--sessions-out", "BENCH_sessions.json");
 
@@ -416,6 +478,7 @@ fn main() {
                 value_size: mib,
                 read_percent: 0,
                 ops_per_client: cluster_mb_ops,
+                zipf_theta: 0.0,
                 seed: 11,
             },
             configs: treas53,
@@ -428,6 +491,7 @@ fn main() {
                 value_size: 64 * 1024,
                 read_percent: 50,
                 ops_per_client: small_ops,
+                zipf_theta: 0.0,
                 seed: 12,
             },
             configs: treas53,
@@ -440,6 +504,7 @@ fn main() {
                 value_size: 64 * 1024,
                 read_percent: 50,
                 ops_per_client: small_ops,
+                zipf_theta: 0.0,
                 seed: 13,
             },
             configs: abd3,
@@ -461,6 +526,7 @@ fn main() {
         value_size: 16 * 1024,
         read_percent: 50,
         ops_per_client: sim_ops,
+        zipf_theta: 0.0,
         seed: 14,
     };
     let sim_report = run_sim(&sim_spec, treas53());
@@ -500,6 +566,7 @@ fn main() {
         value_size: 256,
         read_percent: 50,
         ops_per_client: ab_ops,
+        zipf_theta: 0.0,
         seed: 21,
     };
     println!("\n# sessions A/B: {ab_clients} logical clients, 256 B TREAS [5,3], 50% reads");
@@ -519,6 +586,7 @@ fn main() {
         read_percent: 50,
         target_ops_per_sec: if quick { 300.0 } else { 1200.0 },
         total_ops: if quick { 150 } else { 1800 },
+        zipf_theta: 0.0,
         seed: 22,
     };
     let ol_cluster = run_open_loop_cluster(&ol_cluster_spec, treas53()).expect("open-loop cluster");
@@ -537,6 +605,7 @@ fn main() {
         read_percent: 50,
         target_ops_per_sec: 2000.0,
         total_ops: if quick { 120 } else { 600 },
+        zipf_theta: 0.0,
         seed: 23,
     };
     let ol_sim = run_open_loop_sim(&ol_sim_spec, treas53());
@@ -575,6 +644,9 @@ fn main() {
 
     // ---- crash-recovery A/B ----------------------------------------
     run_recovery_sweep(quick, &recovery_out_path);
+
+    // ---- adversarial chaos suite -----------------------------------
+    run_chaos(quick, &chaos_out_path);
 
     // The acceptance gates: the 1 MiB TREAS [5,3] write pipeline must
     // stay measurably faster than the seed's, and one session-

@@ -110,6 +110,20 @@ impl JsonWriter {
         self
     }
 
+    /// Writes `key: true|false`.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a bare string element inside an open array.
+    pub fn element_string(&mut self, value: &str) -> &mut Self {
+        self.comma();
+        self.push_string(value);
+        self
+    }
+
     /// Writes `key: value` for a float (3 decimal places; non-finite
     /// values become `null`).
     pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
@@ -154,5 +168,19 @@ mod tests {
             w.finish(),
             r#"{"name":"x\"y","n":7,"inner":{"r":1.500},"rows":[{"a":1},{"a":2}]}"#
         );
+    }
+
+    #[test]
+    fn bools_and_string_elements() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.bool("ok", true);
+        w.bool("bad", false);
+        w.begin_array_key("tags");
+        w.element_string("a");
+        w.element_string("b\"c");
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"ok":true,"bad":false,"tags":["a","b\"c"]}"#);
     }
 }

@@ -31,15 +31,19 @@
 //! and emits `BENCH_throughput.json`, `BENCH_sessions.json` and
 //! `BENCH_recovery.json` (schemas in the repo README).
 
+pub mod chaos;
 mod hist;
 pub mod json;
 pub mod openloop;
 pub mod recovery;
 pub mod wirebench;
+pub mod zipf;
 
+pub use chaos::{run_chaos_suite, ChaosReport, ChaosScenarioReport};
 pub use hist::LatencyHistogram;
 pub use openloop::{run_open_loop_cluster, run_open_loop_sim, OpenLoopReport, OpenLoopSpec};
 pub use recovery::{run_recovery, RecoveryMode, RecoveryRunReport, RecoverySpec};
+pub use zipf::ZipfSampler;
 
 use ares_core::store::{Store, StoreSession};
 use ares_core::{ClientCmd, OpTicket};
@@ -65,6 +69,10 @@ pub struct LoadSpec {
     pub read_percent: u32,
     /// Operations each client performs (bounds the run).
     pub ops_per_client: usize,
+    /// Zipf skew of object popularity: `0.0` (default) draws objects
+    /// uniformly; `0.99` is the classic YCSB hot-spot skew. Object `0`
+    /// is the hottest rank.
+    pub zipf_theta: f64,
     /// RNG seed (object choice, read/write mix, value contents).
     pub seed: u64,
 }
@@ -77,6 +85,7 @@ impl Default for LoadSpec {
             value_size: 4096,
             read_percent: 50,
             ops_per_client: 50,
+            zipf_theta: 0.0,
             seed: 1,
         }
     }
@@ -93,9 +102,14 @@ impl LoadSpec {
     /// spec execute the same logical workload).
     fn client_ops(&self, index: usize) -> Vec<ClientCmd> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ ((index as u64 + 1) << 32));
+        let zipf = (self.zipf_theta > 0.0)
+            .then(|| crate::zipf::ZipfSampler::new(self.objects.max(1), self.zipf_theta));
         (0..self.ops_per_client)
             .map(|op_i| {
-                let obj = ObjectId(rng.random_range(0..self.objects.max(1)) as u32);
+                let obj = ObjectId(match &zipf {
+                    Some(z) => z.sample(&mut rng) as u32,
+                    None => rng.random_range(0..self.objects.max(1)) as u32,
+                });
                 if rng.random_range(0..100u32) < self.read_percent {
                     ClientCmd::Read { obj }
                 } else {

@@ -48,6 +48,9 @@ pub struct OpenLoopSpec {
     pub target_ops_per_sec: f64,
     /// Total operations the schedule offers (bounds the run).
     pub total_ops: usize,
+    /// Zipf skew of object popularity (`0.0` = uniform, the default;
+    /// `0.99` = YCSB hot-spot skew; object `0` is the hottest rank).
+    pub zipf_theta: f64,
     /// RNG seed (inter-arrival jitter, object choice, mix, values).
     pub seed: u64,
 }
@@ -61,6 +64,7 @@ impl Default for OpenLoopSpec {
             read_percent: 50,
             target_ops_per_sec: 500.0,
             total_ops: 500,
+            zipf_theta: 0.0,
             seed: 1,
         }
     }
@@ -89,7 +93,12 @@ impl OpenLoopSpec {
     pub fn cmd(&self, i: usize) -> ClientCmd {
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-        let obj = ObjectId(rng.random_range(0..self.objects.max(1)) as u32);
+        let obj = ObjectId(if self.zipf_theta > 0.0 {
+            crate::zipf::ZipfSampler::new(self.objects.max(1), self.zipf_theta).sample(&mut rng)
+                as u32
+        } else {
+            rng.random_range(0..self.objects.max(1)) as u32
+        });
         if rng.random_range(0..100u32) < self.read_percent {
             ClientCmd::Read { obj }
         } else {

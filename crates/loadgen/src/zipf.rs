@@ -1,0 +1,114 @@
+//! Deterministic Zipf(θ) object-popularity sampling.
+//!
+//! Real key-value workloads are skewed: a few hot objects absorb most
+//! operations (YCSB models this with a Zipfian request distribution).
+//! Uniform object choice — the loadgen's default — spreads contention
+//! evenly and so *understates* it; a Zipf-skewed run concentrates
+//! concurrent reads and writes on the hottest objects, which is exactly
+//! where an atomic register implementation has to defend its
+//! linearization points.
+//!
+//! The sampler precomputes the discrete CDF of `P(i) ∝ 1/(i+1)^θ` over
+//! `n` objects in fixed-point and answers draws by binary search on a
+//! single `u64` from the caller's RNG — deterministic given the RNG
+//! stream, no floating point at sampling time.
+
+use rand::{RngCore, RngExt};
+
+/// Fixed-point scale of the precomputed CDF (48 bits keeps the per-rank
+/// rounding error far below any observable popularity difference).
+const SCALE: u64 = 1 << 48;
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 hottest). `θ = 0` is the
+/// uniform distribution; `θ ≈ 0.99` is the classic YCSB skew.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative fixed-point weights; `cdf[i]` is the total mass of
+    /// ranks `0..=i`. Strictly increasing (every rank keeps ≥ 1 unit).
+    cdf: Vec<u64>,
+}
+
+impl ZipfSampler {
+    /// Builds the CDF for `n` objects with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "a sampler needs at least one object");
+        assert!(theta.is_finite() && theta >= 0.0, "zipf theta must be finite and >= 0");
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0u64;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                // Every rank keeps at least one unit of mass so deep
+                // tails stay reachable and the CDF stays strictly
+                // increasing.
+                acc += ((w / total) * SCALE as f64).max(1.0) as u64;
+                acc
+            })
+            .collect();
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank in `0..n` (rank 0 most popular).
+    pub fn sample(&self, rng: &mut impl RngCore) -> usize {
+        let total = *self.cdf.last().expect("non-empty by construction");
+        let x = rng.random_range(0..total);
+        self.cdf.partition_point(|&c| c <= x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, theta: f64, draws: usize, seed: u64) -> Vec<usize> {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let counts = histogram(8, 0.0, 16_000, 3);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform draw spread too wide: min {min} max {max} ({counts:?})");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_hot_ranks() {
+        let counts = histogram(32, 0.99, 16_000, 4);
+        let hot: usize = counts[..3].iter().sum();
+        // Analytically, top-3 mass = (1 + 2^-.99 + 3^-.99) / H_32(.99) ≈ 45%.
+        assert!(
+            hot * 5 > 2 * 16_000,
+            "zipf(0.99): top-3 of 32 objects should absorb >40% of draws (got {hot}/16000)"
+        );
+        assert!(counts[0] > counts[8], "rank 0 hotter than rank 8");
+        // Tail ranks stay reachable (the ≥1-unit floor).
+        let z = ZipfSampler::new(32, 3.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let seen: std::collections::HashSet<usize> =
+            (0..200_000).map(|_| z.sample(&mut rng)).collect();
+        assert!(seen.contains(&0), "hot rank drawn");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let z = ZipfSampler::new(16, 0.99);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let va: Vec<usize> = (0..64).map(|_| z.sample(&mut a)).collect();
+        let vb: Vec<usize> = (0..64).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -17,6 +17,7 @@ fn small_spec() -> LoadSpec {
         value_size: 512,
         read_percent: 40,
         ops_per_client: 12,
+        zipf_theta: 0.0,
         seed: 7,
     }
 }
@@ -73,6 +74,7 @@ fn sharded_cluster_loadgen_is_atomic_and_stats_surface() {
         value_size: 256,
         read_percent: 40,
         ops_per_client: 8,
+        zipf_theta: 0.0,
         seed: 9,
     };
     let run = ares_loadgen::run_cluster_sharded(&spec, treas53(), 2, 2).expect("cluster bring-up");
@@ -101,6 +103,7 @@ fn open_loop_cluster_completes_offered_load_atomically() {
         read_percent: 40,
         target_ops_per_sec: 400.0,
         total_ops: 80,
+        zipf_theta: 0.0,
         seed: 17,
     };
     let r = ares_loadgen::run_open_loop_cluster(&spec, treas53()).expect("cluster bring-up");

@@ -17,6 +17,7 @@
 //! their command lanes and completion routing assume one loop.
 
 use crate::codec::{self, read_frame};
+use crate::faults::FaultControls;
 use crate::wal::ShardWal;
 use ares_core::Msg;
 use ares_sim::{Actor, Ctx, HostEffect};
@@ -123,6 +124,10 @@ struct FrameQueueState {
     queue: std::collections::VecDeque<Arc<[u8]>>,
     closed: bool,
     dropped: u64,
+    /// When the oldest queued frame was enqueued; `None` while empty.
+    /// A growing age means the writer is stalled (dead or throttled
+    /// peer) — surfaced per peer in [`PeerOutboundStats`].
+    oldest_since: Option<Instant>,
 }
 
 impl FrameQueue {
@@ -132,6 +137,7 @@ impl FrameQueue {
                 queue: std::collections::VecDeque::new(),
                 closed: false,
                 dropped: 0,
+                oldest_since: None,
             }),
             cv: Condvar::new(),
         })
@@ -148,6 +154,9 @@ impl FrameQueue {
             st.queue.pop_front();
             st.dropped += 1;
         }
+        if st.queue.is_empty() {
+            st.oldest_since = Some(Instant::now());
+        }
         st.queue.push_back(frame);
         drop(st);
         self.cv.notify_one();
@@ -161,6 +170,7 @@ impl FrameQueue {
         loop {
             if !st.queue.is_empty() {
                 out.extend(st.queue.drain(..));
+                st.oldest_since = None;
                 return true;
             }
             if st.closed {
@@ -183,6 +193,14 @@ impl FrameQueue {
     pub(crate) fn dropped(&self) -> u64 {
         crate::sync::lock(&self.state).dropped
     }
+
+    /// `(queued frames, µs the oldest has waited)` — `(0, 0)` when the
+    /// writer is keeping up.
+    fn depth_and_stall(&self) -> (usize, u64) {
+        let st = crate::sync::lock(&self.state);
+        let stalled = st.oldest_since.map_or(0, |t| t.elapsed().as_micros() as u64);
+        (st.queue.len(), stalled)
+    }
 }
 
 /// Outbound-writer counters, shared by every writer thread of one pool.
@@ -197,14 +215,19 @@ pub(crate) struct PeerPool {
     book: Arc<crate::runtime::AddrBook>,
     queues: Mutex<HashMap<ProcessId, Arc<FrameQueue>>>,
     counters: Arc<WriterCounters>,
+    faults: Arc<FaultControls>,
 }
 
 impl PeerPool {
-    pub(crate) fn new(book: Arc<crate::runtime::AddrBook>) -> Arc<Self> {
+    pub(crate) fn new(
+        book: Arc<crate::runtime::AddrBook>,
+        faults: Arc<FaultControls>,
+    ) -> Arc<Self> {
         Arc::new(PeerPool {
             book,
             queues: Mutex::new(HashMap::new()),
             counters: Arc::new(WriterCounters::default()),
+            faults,
         })
     }
 
@@ -214,6 +237,9 @@ impl PeerPool {
     /// making first contact with a new peer cannot stall every
     /// concurrent sender behind the OS thread-creation latency.
     pub(crate) fn send(&self, to: ProcessId, frame: Arc<[u8]>) {
+        if self.faults.drop_outbound(to) {
+            return; // injected link cut: the frame dies entering the wire
+        }
         let Some(addr) = self.book.addr(to) else {
             return; // unknown destination: drop, like the simulator does
         };
@@ -231,9 +257,24 @@ impl PeerPool {
         if spawn {
             let writer_queue = queue.clone();
             let counters = self.counters.clone();
-            std::thread::spawn(move || writer_loop(addr, writer_queue, counters));
+            let faults = self.faults.clone();
+            std::thread::spawn(move || writer_loop(addr, writer_queue, counters, faults));
         }
         queue.push(frame);
+    }
+
+    /// Per-peer outbound queue depth and stalled-writer age, sorted by
+    /// peer id so the snapshot is stable across calls.
+    pub(crate) fn peer_stats(&self) -> Vec<PeerOutboundStats> {
+        let mut out: Vec<PeerOutboundStats> = crate::sync::lock(&self.queues)
+            .iter()
+            .map(|(pid, q)| {
+                let (queue_depth, stalled_micros) = q.depth_and_stall();
+                PeerOutboundStats { peer: *pid, queue_depth, stalled_micros, dropped: q.dropped() }
+            })
+            .collect();
+        out.sort_by_key(|s| s.peer);
+        out
     }
 
     /// `(batches_flushed, frames_sent, frames_abandoned, evictions)`.
@@ -307,7 +348,12 @@ const WRITER_BUF: usize = 64 * 1024;
 /// connection down, so partially-delivered frames vanished with it, and
 /// a duplicated frame is harmless (quorum phases are idempotent and
 /// deduplicate by rpc/op id).
-pub(crate) fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>, counters: Arc<WriterCounters>) {
+pub(crate) fn writer_loop(
+    addr: SocketAddr,
+    queue: Arc<FrameQueue>,
+    counters: Arc<WriterCounters>,
+    faults: Arc<FaultControls>,
+) {
     let mut stream: Option<BufWriter<TcpStream>> = None;
     let connect = |addr: SocketAddr| -> Option<BufWriter<TcpStream>> {
         for backoff_ms in [0u64, 20, 100] {
@@ -330,6 +376,13 @@ pub(crate) fn writer_loop(addr: SocketAddr, queue: Arc<FrameQueue>, counters: Ar
     let mut last_write: Option<Instant> = None;
     let mut batch: Vec<Arc<[u8]>> = Vec::new();
     while queue.pop_batch(&mut batch) {
+        // Gray-node throttle: a slowed host pays the injected latency
+        // once per drained batch before it touches the socket, so its
+        // traffic still flows — late, like a wheezing NIC, not never.
+        let slow = faults.slow_micros();
+        if slow > 0 {
+            std::thread::sleep(Duration::from_micros(slow));
+        }
         let mut sent = false;
         for _attempt in 0..2 {
             let idle = last_write.is_none_or(|t| t.elapsed() >= IDLE_BEFORE_PEEK);
@@ -450,6 +503,22 @@ pub struct ShardStats {
     pub inbox_high_water: usize,
 }
 
+/// One peer's outbound health as seen from this host: how much is
+/// queued toward it and how long the queue's oldest frame has waited.
+/// A stalled age in the tens of milliseconds flags a dead, partitioned,
+/// or gray peer long before protocol timeouts fire.
+#[derive(Debug, Clone)]
+pub struct PeerOutboundStats {
+    /// The destination peer.
+    pub peer: ProcessId,
+    /// Frames currently queued toward the peer.
+    pub queue_depth: usize,
+    /// Microseconds the oldest queued frame has waited (0 = keeping up).
+    pub stalled_micros: u64,
+    /// Frames evicted from this peer's queue (drop-oldest policy).
+    pub dropped: u64,
+}
+
 /// Snapshot of a node's runtime counters, from
 /// [`crate::NodeRuntime::stats`]. Cheap to take (atomic loads); numbers
 /// are monotone since host start.
@@ -465,6 +534,12 @@ pub struct NodeStats {
     pub frames_abandoned: u64,
     /// Frames evicted from full outbound queues (drop-oldest policy).
     pub outbound_dropped: u64,
+    /// Per-peer outbound queue depth / stalled-writer age, sorted by
+    /// peer id.
+    pub peers: Vec<PeerOutboundStats>,
+    /// Frames dropped by injected link cuts (fault harness), both
+    /// directions.
+    pub faults_dropped: u64,
     /// Write-ahead-log counters summed over the node's shards; `None`
     /// when the node runs without durability (no data dir).
     pub wal: Option<ares_wal::WalStats>,
@@ -527,6 +602,9 @@ pub(crate) struct ShardedHost<A: Actor<Msg> + Send + 'static> {
     paused: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
     pool: Arc<PeerPool>,
+    /// Injected-fault switchboard shared with the pool, writers and
+    /// readers; reachable through [`Self::faults`] for the test harness.
+    faults: Arc<FaultControls>,
     /// A clone of the listening socket, kept so shutdown can flip it
     /// nonblocking (belt to the throwaway-connection braces).
     listener: TcpListener,
@@ -556,7 +634,8 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
         let listener_clone = listener.try_clone()?;
         let paused = Arc::new(AtomicBool::new(false));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let pool = PeerPool::new(book);
+        let faults = FaultControls::new();
+        let pool = PeerPool::new(book, faults.clone());
         let mut threads = Vec::new();
 
         // Build every shard's channel first so each event loop can be
@@ -616,8 +695,9 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
         let accept_thread = {
             let paused = paused.clone();
             let shutdown = shutdown.clone();
+            let faults = faults.clone();
             std::thread::spawn(move || {
-                accept_loop(listener, Arc::new(admission), targets, paused, shutdown);
+                accept_loop(listener, Arc::new(admission), targets, paused, shutdown, faults);
             })
         };
         Ok(ShardedHost {
@@ -628,6 +708,7 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
             paused,
             shutdown,
             pool,
+            faults,
             listener: listener_clone,
             threads,
             _accept_thread: accept_thread,
@@ -637,6 +718,11 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
     /// Number of shards this host runs.
     pub(crate) fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// This host's fault-injection switchboard.
+    pub(crate) fn faults(&self) -> &Arc<FaultControls> {
+        &self.faults
     }
 
     /// Injects a message as if delivered from `from`, routed like any
@@ -705,6 +791,8 @@ impl<A: Actor<Msg> + Send + 'static> ShardedHost<A> {
             frames_sent,
             frames_abandoned,
             outbound_dropped,
+            peers: self.pool.peer_stats(),
+            faults_dropped: self.faults.frames_cut(),
             // The host is actor-agnostic; the node runtime owns the
             // per-shard WAL counters and fills this in.
             wal: None,
@@ -736,6 +824,7 @@ fn accept_loop<A: Actor<Msg> + Send + 'static>(
     targets: RouteTargets<A>,
     paused: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
+    faults: Arc<FaultControls>,
 ) {
     loop {
         match listener.accept() {
@@ -748,10 +837,11 @@ fn accept_loop<A: Actor<Msg> + Send + 'static>(
                 let admission = admission.clone();
                 let paused = paused.clone();
                 let shutdown = shutdown.clone();
+                let faults = faults.clone();
                 // Reader threads are daemons: they exit on EOF, on any
                 // read/decode error, and on pause/shutdown.
                 std::thread::spawn(move || {
-                    reader_loop(stream, admission, targets, paused, shutdown);
+                    reader_loop(stream, admission, targets, paused, shutdown, faults);
                 });
             }
             Err(_) => {
@@ -778,6 +868,7 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
     targets: RouteTargets<A>,
     paused: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
+    faults: Arc<FaultControls>,
 ) {
     let mut reader = BufReader::new(stream);
     loop {
@@ -785,6 +876,19 @@ fn reader_loop<A: Actor<Msg> + Send + 'static>(
             Ok(Some((from, msg))) => {
                 if shutdown.load(Ordering::SeqCst) || paused.load(Ordering::SeqCst) {
                     return; // crash window: drop frame, sever connection
+                }
+                // Injected asymmetric cut: this host cannot *hear* the
+                // peer, though the reverse direction may still flow. The
+                // connection survives (a link fault is not a crash) and
+                // heals instantly when the cut is lifted.
+                if faults.drop_inbound(from) {
+                    continue;
+                }
+                // Gray-node throttle, inbound side: a slowed host is
+                // slow to *process* what it hears, one frame at a time.
+                let slow = faults.slow_micros();
+                if slow > 0 {
+                    std::thread::sleep(Duration::from_micros(slow));
                 }
                 // Command/invoke frames are environment-injected, never
                 // protocol traffic: a peer must not be able to drive a
@@ -1073,7 +1177,7 @@ mod tests {
         }
         q.close();
         let counters = Arc::new(WriterCounters::default());
-        writer_loop(addr, q, counters.clone()); // runs to completion: queue closed
+        writer_loop(addr, q, counters.clone(), FaultControls::new()); // runs to completion: queue closed
         assert_eq!(counters.frames_sent.load(Ordering::Relaxed), B as u64);
         assert_eq!(
             counters.batches_flushed.load(Ordering::Relaxed),
@@ -1100,7 +1204,7 @@ mod tests {
         let writer = {
             let q = q.clone();
             let counters = counters.clone();
-            std::thread::spawn(move || writer_loop(addr, q, counters))
+            std::thread::spawn(move || writer_loop(addr, q, counters, FaultControls::new()))
         };
         for i in 0..5u32 {
             q.push(frame_of(i));
@@ -1136,7 +1240,7 @@ mod tests {
             // listener dropped: connections now refused
         };
         let book = Arc::new(AddrBook::from_entries([(ProcessId(2), dead)]));
-        let pool = PeerPool::new(book);
+        let pool = PeerPool::new(book, FaultControls::new());
         let frame: Arc<[u8]> = Arc::from(vec![0u8; 64].into_boxed_slice());
         for _ in 0..(3 * OUTBOUND_HIGH_WATER) {
             pool.send(ProcessId(2), frame.clone());
@@ -1162,7 +1266,7 @@ mod tests {
             .collect();
         let (tx, _rx) = mpsc::channel::<Event<ServerActor>>();
         let loopbacks = vec![tx];
-        let pool = PeerPool::new(Arc::new(AddrBook::new()));
+        let pool = PeerPool::new(Arc::new(AddrBook::new()), FaultControls::new());
         let timers = Timers::new();
         let before = codec::frames_encoded();
         apply(me, effects, &loopbacks, codec::shard_route, &pool, &timers, &None);

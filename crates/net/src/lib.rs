@@ -25,7 +25,12 @@
 //!   [`ares_types::OpCompletion`] records the harness checkers consume;
 //! * [`testing::LocalCluster`] — boots an n-node cluster on ephemeral
 //!   loopback ports in-process, with node kill/restart, for integration
-//!   tests and benches.
+//!   tests and benches;
+//! * [`ClusterFault`] / [`FaultScript`] — scriptable live-cluster fault
+//!   injection mirroring the simulator's adversarial plane: symmetric
+//!   and asymmetric (one-way) partitions, gray (slow-but-alive) nodes,
+//!   kill/restart — applied mid-run via `LocalCluster::apply_fault` and
+//!   `LocalCluster::run_script`.
 //!
 //! The sim-vs-net equivalence argument is simple and structural: every
 //! protocol engine is a pure state machine emitting
@@ -53,6 +58,7 @@
 //! ```
 
 pub mod codec;
+mod faults;
 mod host;
 mod runtime;
 mod sync;
@@ -60,7 +66,8 @@ pub mod testing;
 pub mod wal;
 
 pub use codec::{DecodeError, WireDecode, WireEncode, MAX_FRAME_LEN, WIRE_VERSION};
-pub use host::{NodeStats, ShardStats};
+pub use faults::{ClusterFault, FaultScript};
+pub use host::{NodeStats, PeerOutboundStats, ShardStats};
 pub use runtime::{
     AddrBook, NetSession, NetStore, NetTicket, NodeRuntime, RemoteClient, ShardedNode,
     DEFAULT_OP_TIMEOUT, ENV,

@@ -359,6 +359,12 @@ impl ShardedNode {
         self.host.resume();
     }
 
+    /// This node's fault-injection switchboard (link cuts, gray slow-
+    /// downs); `testing::LocalCluster` drives it via `apply_fault`.
+    pub(crate) fn faults(&self) -> Arc<crate::faults::FaultControls> {
+        self.host.faults().clone()
+    }
+
     /// Replaces the hosted server state with a blank restart (a crash
     /// that lost its disk): every shard gets a fresh blank
     /// [`ServerActor`]. Combine with a `RepairMsg::Trigger` injection
@@ -589,6 +595,11 @@ impl NetStore {
     /// Number of completions routed so far (progress counter).
     pub fn completions_routed(&self) -> u64 {
         *crate::sync::lock(&self.inner.shared.progress)
+    }
+
+    /// This store's fault-injection switchboard; `None` once shut down.
+    pub(crate) fn fault_controls(&self) -> Option<Arc<crate::faults::FaultControls>> {
+        crate::sync::lock(&self.inner.host).as_ref().map(|h| h.faults().clone())
     }
 
     /// Blocks until the progress counter exceeds `seen` (returning the

@@ -10,6 +10,7 @@
 //! restarted mid-run to exercise fault paths, and their runtime
 //! counters snapshot via [`LocalCluster::node_stats`].
 
+use crate::faults::{ClusterFault, FaultControls, FaultScript};
 use crate::runtime::{AddrBook, NodeRuntime, RemoteClient, ENV};
 use crate::wal::{RecoveryReport, WalConfig};
 use ares_core::{ClientConfig, Msg, RepairMsg};
@@ -403,6 +404,127 @@ impl LocalCluster {
             ENV,
             Msg::Repair(RepairMsg::Trigger { cfg: ConfigId(cfg), obj: ObjectId(obj) }),
         );
+    }
+
+    /// The fault switchboard of process `pid` — a server's or a
+    /// client's; `None` if the pid is unknown (or its store shut down).
+    fn controls_for(&self, pid: ProcessId) -> Option<Arc<FaultControls>> {
+        if let Some(node) = self.nodes.get(&pid) {
+            return Some(node.faults());
+        }
+        self.clients.get(&pid).and_then(|c| c.store().fault_controls())
+    }
+
+    /// Every live fault switchboard in the deployment (servers, then
+    /// clients).
+    fn all_controls(&self) -> Vec<Arc<FaultControls>> {
+        self.nodes
+            .values()
+            .map(NodeRuntime::faults)
+            .chain(self.clients.values().filter_map(|c| c.store().fault_controls()))
+            .collect()
+    }
+
+    /// Cuts every link between groups `a` and `b`, both directions —
+    /// pids may be servers or clients. Frames racing the cut may still
+    /// land; frames sent after it are dropped at both ends. Unknown
+    /// pids are ignored (they have no links to cut).
+    pub fn partition(&self, a: &[u32], b: &[u32]) {
+        self.partition_oneway(a, b);
+        self.partition_oneway(b, a);
+    }
+
+    /// Cuts only the `from → to` direction: senders in `from` cannot
+    /// reach receivers in `to`, while replies `to → from` still flow —
+    /// an asymmetric (gray) partition. Enforced at both ends: `from`
+    /// hosts drop the frames outbound and `to` hosts drop any that
+    /// slip through a connection established before the cut.
+    pub fn partition_oneway(&self, from: &[u32], to: &[u32]) {
+        let to_pids: Vec<ProcessId> = to.iter().copied().map(ProcessId).collect();
+        let from_pids: Vec<ProcessId> = from.iter().copied().map(ProcessId).collect();
+        for &f in &from_pids {
+            if let Some(c) = self.controls_for(f) {
+                c.cut_outbound(to_pids.iter().copied());
+            }
+        }
+        for &t in &to_pids {
+            if let Some(c) = self.controls_for(t) {
+                c.cut_inbound(from_pids.iter().copied());
+            }
+        }
+    }
+
+    /// Restores every cut link on every host (servers and clients).
+    /// Slow-downs injected with [`LocalCluster::slow`] are separate and
+    /// survive a heal.
+    pub fn heal(&self) {
+        for c in self.all_controls() {
+            c.heal();
+        }
+    }
+
+    /// Makes process `pid` gray: every frame it reads or writes pays an
+    /// extra `delay` of injected latency, but it keeps serving — the
+    /// slow-but-alive failure mode that defeats binary failure
+    /// detectors. No-op for unknown pids.
+    pub fn slow(&self, pid: u32, delay: Duration) {
+        if let Some(c) = self.controls_for(ProcessId(pid)) {
+            c.set_slow(delay.as_micros() as u64);
+        }
+    }
+
+    /// Restores `pid` to full speed.
+    pub fn unslow(&self, pid: u32) {
+        if let Some(c) = self.controls_for(ProcessId(pid)) {
+            c.set_slow(0);
+        }
+    }
+
+    /// Total frames dropped by injected link cuts across the
+    /// deployment (both directions, servers and clients).
+    pub fn faults_dropped(&self) -> u64 {
+        self.all_controls().iter().map(|c| c.frames_cut()).sum()
+    }
+
+    /// Applies one scripted fault action.
+    ///
+    /// # Panics
+    ///
+    /// `Kill`/`Restart` panic if their pid is not a server of this
+    /// cluster (same contract as [`LocalCluster::kill`]).
+    pub fn apply_fault(&self, fault: &ClusterFault) {
+        match fault {
+            ClusterFault::Partition { a, b } => self.partition(a, b),
+            ClusterFault::OneWay { from, to } => self.partition_oneway(from, to),
+            ClusterFault::Heal => self.heal(),
+            ClusterFault::Slow { pid, delay_micros } => {
+                self.slow(*pid, Duration::from_micros(*delay_micros));
+            }
+            ClusterFault::Unslow { pid } => self.unslow(*pid),
+            ClusterFault::Kill { pid } => self.kill(*pid),
+            ClusterFault::Restart { pid } => self.restart(*pid),
+        }
+    }
+
+    /// Runs a fault script against the live cluster, **blocking** until
+    /// the last step has been applied: each step sleeps until its
+    /// offset from the call instant, then applies. Drive it from a
+    /// scoped thread (`std::thread::scope`) to overlap the faults with
+    /// a running workload.
+    ///
+    /// # Panics
+    ///
+    /// As [`LocalCluster::apply_fault`], for `Kill`/`Restart` steps
+    /// naming a non-server pid.
+    pub fn run_script(&self, script: &FaultScript) {
+        let start = Instant::now();
+        for (offset, fault) in &script.steps {
+            let elapsed = start.elapsed();
+            if *offset > elapsed {
+                std::thread::sleep(*offset - elapsed);
+            }
+            self.apply_fault(fault);
+        }
     }
 
     /// Tears the whole deployment down.

@@ -12,6 +12,11 @@
 //!   a delay sampled uniformly from `[d, D]` (unless the destination has
 //!   crashed);
 //! * crash faults: a crashed process silently stops taking steps;
+//! * an adversarial fault plane beyond the paper's base model: per-link
+//!   latency distributions (heavy-tailed WAN profiles), asymmetric
+//!   partitions, gray (slow-but-alive) nodes, probabilistic duplication
+//!   and bounded reorder — scripted mid-run via a [`FaultSchedule`] and
+//!   still bit-deterministic given the seed;
 //! * per-operation metrics (message counts and payload bytes), which is how
 //!   the communication costs of Theorem 3 are measured;
 //! * an optional structured trace used to regenerate Figure 1.
@@ -46,13 +51,15 @@
 //! assert!(world.now() >= 5 * 10, "five hops, each at least d=10");
 //! ```
 
+mod faults;
 mod metrics;
 mod network;
 mod trace;
 mod world;
 
+pub use faults::{FaultAction, FaultEvent, FaultSchedule, FaultTrigger};
 pub use metrics::{Metrics, OpMetrics};
-pub use network::{DelayBounds, NetworkConfig};
+pub use network::{DelayBounds, LatencyModel, NetworkConfig};
 pub use trace::{TraceEvent, TraceKind};
 pub use world::{Actor, Ctx, HostEffect, RunOutcome, World};
 

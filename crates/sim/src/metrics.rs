@@ -29,6 +29,14 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Total payload bytes sent.
     pub payload_bytes: u64,
+    /// Messages dropped by a cut (partitioned) link.
+    pub partition_drops: u64,
+    /// Messages delivered twice by probabilistic duplication.
+    pub duplicated: u64,
+    /// Messages held back by probabilistic bounded reorder.
+    pub reordered: u64,
+    /// Fault-schedule actions applied.
+    pub faults_applied: u64,
     /// Per-operation attribution.
     per_op: HashMap<OpId, OpMetrics>,
 }
@@ -48,6 +56,13 @@ impl Metrics {
     /// Records a delivery.
     pub fn record_delivery(&mut self) {
         self.messages_delivered += 1;
+    }
+
+    /// Total fault-plane interference events (drops, duplicates,
+    /// reorders, schedule actions) — the "faults injected" figure
+    /// reported by chaos benchmarks.
+    pub fn faults_injected(&self) -> u64 {
+        self.partition_drops + self.duplicated + self.reordered + self.faults_applied
     }
 
     /// Metrics of one operation (zeros if never seen).

@@ -1,10 +1,21 @@
-//! Network delay model: asynchronous reliable channels with delays in
-//! `[d, D]`.
+//! Network model: asynchronous channels with configurable delay
+//! distributions, directed link cuts, gray-node inflation, duplication
+//! and bounded reorder.
+//!
+//! The base model is the paper's: every message is delivered after a
+//! delay in `[d, D]` (Section 4.4). On top of that, [`NetworkConfig`] is
+//! a composable fault plane — per-link latency models (including
+//! heavy-tailed WAN profiles), asymmetric partitions, per-node gray
+//! factors and probabilistic duplication/reorder — mutated mid-run by
+//! [`crate::FaultAction`]s. All sampling draws from the world's seeded
+//! RNG, so an execution stays a deterministic function of
+//! (actors, injected events, seed, fault schedule).
 
+use crate::faults::FaultAction;
 use ares_types::{ProcessId, Time};
 use rand::rngs::StdRng;
 use rand::RngExt;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Inclusive message-delay bounds `[d, D]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,22 +48,97 @@ impl DelayBounds {
     }
 }
 
-/// The network configuration of an execution.
+/// A per-link delivery-delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Uniform in `[min, max]` — the paper's `[d, D]` channel.
+    Uniform(DelayBounds),
+    /// Heavy-tailed WAN profile: uniform base delay, but with probability
+    /// `tail_per_mille`/1000 the sample is stretched by a factor drawn
+    /// uniformly from `[2, tail_mult]`. This is the mixture shape of real
+    /// wide-area RTT distributions (a tight body with a fat tail from
+    /// routing events, bufferbloat and loss recovery): most messages are
+    /// fast, a few are 10–50× slower, and quorum waits feel the tail.
+    HeavyTail {
+        /// Body of the distribution.
+        base: DelayBounds,
+        /// Tail probability in 1/1000 units (must be <= 1000).
+        tail_per_mille: u32,
+        /// Maximum tail stretch factor (must be >= 2).
+        tail_mult: Time,
+    },
+}
+
+impl LatencyModel {
+    /// The canonical WAN profile used by the chaos harness: body in
+    /// `[min, max]`, 5% of messages stretched up to 20×.
+    pub fn wan(min: Time, max: Time) -> Self {
+        LatencyModel::HeavyTail {
+            base: DelayBounds::new(min, max),
+            tail_per_mille: 50,
+            tail_mult: 20,
+        }
+    }
+
+    /// Samples one delivery delay.
+    pub fn sample(&self, rng: &mut StdRng) -> Time {
+        match self {
+            LatencyModel::Uniform(b) => b.sample(rng),
+            LatencyModel::HeavyTail { base, tail_per_mille, tail_mult } => {
+                let d = base.sample(rng);
+                if rng.random_range(0..1000u32) < *tail_per_mille {
+                    let mult = if *tail_mult <= 2 { 2 } else { rng.random_range(2..=*tail_mult) };
+                    d.saturating_mul(mult)
+                } else {
+                    d
+                }
+            }
+        }
+    }
+
+    /// The smallest delay this model can produce.
+    pub fn min_delay(&self) -> Time {
+        match self {
+            LatencyModel::Uniform(b) => b.min,
+            LatencyModel::HeavyTail { base, .. } => base.min,
+        }
+    }
+}
+
+/// The network configuration of an execution — the sim-side fault plane.
 ///
-/// The default bounds apply to every message; per-client overrides apply
-/// to any message that belongs to an operation of that client (both the
-/// request and the matching reply carry the operation id). This is how the
-/// worst-case constructions of the latency analysis are realized: "we
-/// assume that reconfiguration operations may communicate respecting the
-/// minimum delay d, whereas read and write operations suffer the maximum
-/// delay D" (Section 4.4).
+/// Delay resolution for a message `from → to` belonging to an operation
+/// of client `c`: a per-link model for `(from, to)` wins; else a
+/// per-client override for `c` wins (the paper's Section 4.4 worst-case
+/// constructions: "reconfiguration operations may communicate respecting
+/// the minimum delay d, whereas read and write operations suffer the
+/// maximum delay D"); else the default model applies. The sampled delay
+/// is then inflated by the gray factors of both endpoints.
+///
+/// Cut links, gray factors and duplication/reorder rates are *mutable
+/// mid-run* via [`NetworkConfig::apply`], which the world invokes from
+/// its [`crate::FaultSchedule`].
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
-    /// Default delay bounds.
-    pub default: DelayBounds,
+    /// Default latency model for links without an override.
+    pub default: LatencyModel,
     /// Per-client overrides: messages of ops invoked by this client use
-    /// these bounds instead.
+    /// these bounds instead (unless a per-link model applies).
     pub per_client: HashMap<ProcessId, DelayBounds>,
+    /// Per-directed-link latency models, keyed `(from, to)`.
+    pub per_link: HashMap<(ProcessId, ProcessId), LatencyModel>,
+    /// Probability (in 1/1000 units) that a send is delivered twice, the
+    /// copy at an independently sampled delay.
+    pub duplicate_per_mille: u32,
+    /// Probability (in 1/1000 units) that a message is held back an extra
+    /// `1..=reorder_extra_max` units, letting later sends overtake it.
+    pub reorder_per_mille: u32,
+    /// Maximum extra holding delay for reordered messages.
+    pub reorder_extra_max: Time,
+    /// Directed dead links: `(from, to)` present means `from → to` drops.
+    blocked: HashSet<(ProcessId, ProcessId)>,
+    /// Gray nodes: delay inflation factor per process (absent = 1×).
+    gray: HashMap<ProcessId, u32>,
 }
 
 impl NetworkConfig {
@@ -62,12 +148,26 @@ impl NetworkConfig {
     ///
     /// Panics if `d == 0` or `d > D`.
     pub fn uniform(d: Time, max_d: Time) -> Self {
-        NetworkConfig { default: DelayBounds::new(d, max_d), per_client: HashMap::new() }
+        Self::with_model(LatencyModel::Uniform(DelayBounds::new(d, max_d)))
     }
 
     /// Constant delay `d` for everyone (degenerate `[d, d]`).
     pub fn constant(d: Time) -> Self {
         Self::uniform(d, d)
+    }
+
+    /// A network whose default link follows `model`.
+    pub fn with_model(model: LatencyModel) -> Self {
+        NetworkConfig {
+            default: model,
+            per_client: HashMap::new(),
+            per_link: HashMap::new(),
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            reorder_extra_max: 0,
+            blocked: HashSet::new(),
+            gray: HashMap::new(),
+        }
     }
 
     /// Adds a per-client delay class (builder style).
@@ -77,9 +177,140 @@ impl NetworkConfig {
         self
     }
 
-    /// Bounds applying to a message of operation-owner `op_client`.
-    pub fn bounds_for(&self, op_client: Option<ProcessId>) -> DelayBounds {
-        op_client.and_then(|c| self.per_client.get(&c).copied()).unwrap_or(self.default)
+    /// Adds a per-link latency model for the directed link `from → to`
+    /// (builder style).
+    #[must_use]
+    pub fn with_link_model(mut self, from: ProcessId, to: ProcessId, model: LatencyModel) -> Self {
+        self.per_link.insert((from, to), model);
+        self
+    }
+
+    /// Sets the duplication rate (builder style).
+    #[must_use]
+    pub fn with_duplication(mut self, per_mille: u32) -> Self {
+        self.duplicate_per_mille = per_mille;
+        self
+    }
+
+    /// Sets the bounded-reorder parameters (builder style).
+    #[must_use]
+    pub fn with_reorder(mut self, per_mille: u32, extra_max: Time) -> Self {
+        self.reorder_per_mille = per_mille;
+        self.reorder_extra_max = extra_max;
+        self
+    }
+
+    /// The latency model applying to one message.
+    pub fn model_for(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        op_client: Option<ProcessId>,
+    ) -> LatencyModel {
+        if let Some(m) = self.per_link.get(&(from, to)) {
+            return *m;
+        }
+        if let Some(b) = op_client.and_then(|c| self.per_client.get(&c)) {
+            return LatencyModel::Uniform(*b);
+        }
+        self.default
+    }
+
+    /// Samples the delivery delay for one message, including gray-node
+    /// inflation of both endpoints.
+    pub fn delay_for(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        op_client: Option<ProcessId>,
+        rng: &mut StdRng,
+    ) -> Time {
+        let base = self.model_for(from, to, op_client).sample(rng);
+        base.saturating_mul(self.gray_inflation(from, to))
+    }
+
+    /// Combined gray inflation factor for a `from → to` message (1 when
+    /// neither endpoint is gray).
+    pub fn gray_inflation(&self, from: ProcessId, to: ProcessId) -> Time {
+        (self.gray_factor(from) as Time).saturating_mul(self.gray_factor(to) as Time)
+    }
+
+    /// The gray factor of `pid` (1 = healthy).
+    pub fn gray_factor(&self, pid: ProcessId) -> u32 {
+        self.gray.get(&pid).copied().unwrap_or(1)
+    }
+
+    /// Whether the directed link `from → to` is currently cut.
+    pub fn is_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Number of currently cut directed links.
+    pub fn blocked_links(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Cuts the directed link `from → to`.
+    pub fn cut_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Restores the directed link `from → to`.
+    pub fn heal_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Restores every cut link.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Sets the gray factor of `pid` (pass 1 to restore).
+    pub fn set_gray(&mut self, pid: ProcessId, factor: u32) {
+        if factor <= 1 {
+            self.gray.remove(&pid);
+        } else {
+            self.gray.insert(pid, factor);
+        }
+    }
+
+    /// Cuts every link between distinct groups, both directions.
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(i + 1) {
+                for &a in ga {
+                    for &b in gb {
+                        self.cut_link(a, b);
+                        self.cut_link(b, a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one network-level fault action.
+    ///
+    /// `Crash`/`Recover` are process-level and ignored here — the world
+    /// routes those to its own crash set before delegating the rest.
+    pub fn apply(&mut self, action: &FaultAction) {
+        match action {
+            FaultAction::CutLink { from, to } => self.cut_link(*from, *to),
+            FaultAction::CutBoth { a, b } => {
+                self.cut_link(*a, *b);
+                self.cut_link(*b, *a);
+            }
+            FaultAction::Partition { groups } => self.partition(groups),
+            FaultAction::HealLink { from, to } => self.heal_link(*from, *to),
+            FaultAction::HealAll => self.heal_all(),
+            FaultAction::Grayify { pid, factor } => self.set_gray(*pid, *factor),
+            FaultAction::Ungray { pid } => self.set_gray(*pid, 1),
+            FaultAction::SetDuplication { per_mille } => self.duplicate_per_mille = *per_mille,
+            FaultAction::SetReorder { per_mille, extra_max } => {
+                self.reorder_per_mille = *per_mille;
+                self.reorder_extra_max = *extra_max;
+            }
+            FaultAction::Crash { .. } | FaultAction::Recover { .. } => {}
+        }
     }
 }
 
@@ -112,11 +343,126 @@ mod tests {
     }
 
     #[test]
-    fn per_client_override() {
+    fn per_client_override_resolution() {
         let fast = DelayBounds::new(1, 2);
         let cfg = NetworkConfig::uniform(10, 20).with_client_bounds(ProcessId(9), fast);
-        assert_eq!(cfg.bounds_for(Some(ProcessId(9))), fast);
-        assert_eq!(cfg.bounds_for(Some(ProcessId(1))), DelayBounds::new(10, 20));
-        assert_eq!(cfg.bounds_for(None), DelayBounds::new(10, 20));
+        let p = |n| ProcessId(n);
+        assert_eq!(cfg.model_for(p(1), p(2), Some(p(9))), LatencyModel::Uniform(fast));
+        assert_eq!(
+            cfg.model_for(p(1), p(2), Some(p(1))),
+            LatencyModel::Uniform(DelayBounds::new(10, 20))
+        );
+        assert_eq!(
+            cfg.model_for(p(1), p(2), None),
+            LatencyModel::Uniform(DelayBounds::new(10, 20))
+        );
+    }
+
+    #[test]
+    fn per_link_beats_per_client() {
+        let p = |n| ProcessId(n);
+        let wan = LatencyModel::wan(100, 200);
+        let cfg = NetworkConfig::uniform(10, 20)
+            .with_client_bounds(p(9), DelayBounds::new(1, 2))
+            .with_link_model(p(1), p(2), wan);
+        assert_eq!(cfg.model_for(p(1), p(2), Some(p(9))), wan);
+        // Reverse direction has no override: falls through to per-client.
+        assert_eq!(
+            cfg.model_for(p(2), p(1), Some(p(9))),
+            LatencyModel::Uniform(DelayBounds::new(1, 2))
+        );
+    }
+
+    #[test]
+    fn heavy_tail_mostly_body_sometimes_tail() {
+        let m = LatencyModel::HeavyTail {
+            base: DelayBounds::new(10, 20),
+            tail_per_mille: 100,
+            tail_mult: 30,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut body = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..5000 {
+            let d = m.sample(&mut rng);
+            assert!((10..=20 * 30).contains(&d), "sample out of range: {d}");
+            if d <= 20 {
+                body += 1;
+            } else {
+                tail += 1;
+            }
+        }
+        // ~10% tail probability: expect a clear majority body, nonzero tail.
+        assert!(body > 4000, "body samples: {body}");
+        assert!(tail > 200, "tail samples: {tail}");
+    }
+
+    #[test]
+    fn heavy_tail_deterministic_given_seed() {
+        let m = LatencyModel::wan(50, 150);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| m.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn cut_and_heal_links_are_directed() {
+        let p = |n| ProcessId(n);
+        let mut cfg = NetworkConfig::constant(5);
+        cfg.cut_link(p(1), p(2));
+        assert!(cfg.is_blocked(p(1), p(2)));
+        assert!(!cfg.is_blocked(p(2), p(1)), "reverse direction must stay alive");
+        cfg.heal_link(p(1), p(2));
+        assert!(!cfg.is_blocked(p(1), p(2)));
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_links_only() {
+        let p = |n| ProcessId(n);
+        let mut cfg = NetworkConfig::constant(5);
+        cfg.partition(&[vec![p(1), p(2)], vec![p(3)]]);
+        assert!(cfg.is_blocked(p(1), p(3)));
+        assert!(cfg.is_blocked(p(3), p(2)));
+        assert!(!cfg.is_blocked(p(1), p(2)), "intra-group link must survive");
+        assert!(!cfg.is_blocked(p(1), p(4)), "unnamed processes are unaffected");
+        cfg.heal_all();
+        assert_eq!(cfg.blocked_links(), 0);
+    }
+
+    #[test]
+    fn gray_factor_inflates_delay() {
+        let p = |n| ProcessId(n);
+        let mut cfg = NetworkConfig::constant(10);
+        cfg.set_gray(p(2), 40);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(cfg.delay_for(p(1), p(2), None, &mut rng), 400);
+        assert_eq!(cfg.delay_for(p(2), p(1), None, &mut rng), 400, "both directions inflate");
+        assert_eq!(cfg.delay_for(p(1), p(3), None, &mut rng), 10, "other links unaffected");
+        cfg.set_gray(p(2), 1);
+        assert_eq!(cfg.delay_for(p(1), p(2), None, &mut rng), 10);
+    }
+
+    #[test]
+    fn apply_covers_network_actions() {
+        let p = |n| ProcessId(n);
+        let mut cfg = NetworkConfig::constant(5);
+        cfg.apply(&FaultAction::CutBoth { a: p(1), b: p(2) });
+        assert!(cfg.is_blocked(p(1), p(2)) && cfg.is_blocked(p(2), p(1)));
+        cfg.apply(&FaultAction::Grayify { pid: p(3), factor: 25 });
+        assert_eq!(cfg.gray_factor(p(3)), 25);
+        cfg.apply(&FaultAction::SetDuplication { per_mille: 100 });
+        cfg.apply(&FaultAction::SetReorder { per_mille: 200, extra_max: 77 });
+        assert_eq!(cfg.duplicate_per_mille, 100);
+        assert_eq!((cfg.reorder_per_mille, cfg.reorder_extra_max), (200, 77));
+        cfg.apply(&FaultAction::HealAll);
+        cfg.apply(&FaultAction::Ungray { pid: p(3) });
+        assert_eq!(cfg.blocked_links(), 0);
+        assert_eq!(cfg.gray_factor(p(3)), 1);
+        // Process-level actions are a no-op at the network layer.
+        cfg.apply(&FaultAction::Crash { pid: p(1) });
+        assert!(!cfg.is_blocked(p(1), p(2)));
     }
 }

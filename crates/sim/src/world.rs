@@ -1,12 +1,13 @@
 //! The simulation world: actors, event queue, clock, fault injection.
 
+use crate::faults::{FaultAction, FaultSchedule, FaultTrigger};
 use crate::metrics::Metrics;
 use crate::network::NetworkConfig;
 use crate::trace::{TraceEvent, TraceKind};
 use crate::SimMessage;
 use ares_types::{OpCompletion, ProcessId, Time};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -151,6 +152,7 @@ enum EventKind<M> {
     Timer { pid: ProcessId, token: u64 },
     Crash { pid: ProcessId },
     Recover { pid: ProcessId },
+    Fault { action: FaultAction },
 }
 
 struct Event<M> {
@@ -208,6 +210,9 @@ pub struct World<M: SimMessage> {
     /// Stop after this many processed events.
     pub event_limit: u64,
     events_processed: u64,
+    /// Step-triggered faults, sorted by step ascending; fired (and
+    /// drained) once `events_processed` reaches their step.
+    step_faults: Vec<(u64, FaultAction)>,
 }
 
 impl<M: SimMessage> World<M> {
@@ -227,6 +232,7 @@ impl<M: SimMessage> World<M> {
             time_limit: Time::MAX,
             event_limit: 50_000_000,
             events_processed: 0,
+            step_faults: Vec::new(),
         }
     }
 
@@ -312,6 +318,59 @@ impl<M: SimMessage> World<M> {
         self.queue.push(Reverse(Event { at, seq, kind: EventKind::Recover { pid } }));
     }
 
+    /// Schedules a fault-plane action at simulated time `at`.
+    pub fn schedule_fault(&mut self, at: Time, action: FaultAction) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event { at, seq, kind: EventKind::Fault { action } }));
+    }
+
+    /// Schedules a fault-plane action to fire once `step` events have
+    /// been processed (checked before each event is popped).
+    pub fn schedule_fault_at_step(&mut self, step: u64, action: FaultAction) {
+        self.step_faults.push((step, action));
+        self.step_faults.sort_by_key(|(s, _)| *s);
+    }
+
+    /// Installs a whole [`FaultSchedule`] (time- and step-triggered).
+    pub fn install_faults(&mut self, schedule: &FaultSchedule) {
+        for ev in &schedule.events {
+            match ev.trigger {
+                FaultTrigger::AtTime(at) => self.schedule_fault(at, ev.action.clone()),
+                FaultTrigger::AtStep(step) => self.schedule_fault_at_step(step, ev.action.clone()),
+            }
+        }
+    }
+
+    /// The network fault plane (read-only view; mutate via faults).
+    pub fn net(&self) -> &NetworkConfig {
+        &self.net
+    }
+
+    /// Mutable access to the network fault plane, for harnesses that
+    /// drive faults directly instead of through a schedule.
+    pub fn net_mut(&mut self) -> &mut NetworkConfig {
+        &mut self.net
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        self.metrics.faults_applied += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEvent {
+                at: self.now,
+                kind: TraceKind::Note { pid: ProcessId(0), text: format!("fault: {action}") },
+            });
+        }
+        match action {
+            FaultAction::Crash { pid } => {
+                self.crashed.insert(pid, self.now);
+            }
+            FaultAction::Recover { pid } => {
+                self.crashed.remove(&pid);
+            }
+            other => self.net.apply(&other),
+        }
+    }
+
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -353,6 +412,10 @@ impl<M: SimMessage> World<M> {
         if self.events_processed >= self.event_limit {
             return Some(RunOutcome::EventLimit);
         }
+        while self.step_faults.first().is_some_and(|(s, _)| *s <= self.events_processed) {
+            let (_, action) = self.step_faults.remove(0);
+            self.apply_fault(action);
+        }
         let Some(Reverse(ev)) = self.queue.pop() else {
             return Some(RunOutcome::Quiescent);
         };
@@ -375,6 +438,9 @@ impl<M: SimMessage> World<M> {
             EventKind::Recover { pid } => {
                 self.crashed.remove(&pid);
             }
+            EventKind::Fault { action } => {
+                self.apply_fault(action);
+            }
             EventKind::Timer { pid, token } => {
                 if self.crashed.contains_key(&pid) {
                     return None;
@@ -383,6 +449,12 @@ impl<M: SimMessage> World<M> {
             }
             EventKind::Deliver { from, to, msg } => {
                 if self.crashed.contains_key(&to) {
+                    return None;
+                }
+                // Delivery-time partition check: a link cut while the
+                // message was in flight still kills it.
+                if self.net.is_blocked(from, to) {
+                    self.metrics.partition_drops += 1;
                     return None;
                 }
                 self.metrics.record_delivery();
@@ -425,8 +497,6 @@ impl<M: SimMessage> World<M> {
         for e in effects {
             match e {
                 HostEffect::Send { to, msg } => {
-                    let bounds = self.net.bounds_for(msg.op().map(|o| o.client));
-                    let delay = bounds.sample(&mut self.rng);
                     self.metrics.record_send(msg.op(), msg.payload_bytes());
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEvent {
@@ -439,16 +509,46 @@ impl<M: SimMessage> World<M> {
                             },
                         });
                     }
-                    let at = self.now + delay;
-                    let seq = self.next_seq();
-                    self.queue.push(Reverse(Event {
-                        at,
-                        seq,
-                        kind: EventKind::Deliver { from: pid, to, msg },
-                    }));
+                    // Send-time partition check: a cut link drops the
+                    // message as it enters the channel.
+                    if self.net.is_blocked(pid, to) {
+                        self.metrics.partition_drops += 1;
+                        continue;
+                    }
+                    let copies = if self.net.duplicate_per_mille > 0
+                        && self.rng.random_range(0..1000u32) < self.net.duplicate_per_mille
+                    {
+                        self.metrics.duplicated += 1;
+                        2
+                    } else {
+                        1
+                    };
+                    let op_client = msg.op().map(|o| o.client);
+                    for _ in 0..copies {
+                        let mut delay = self.net.delay_for(pid, to, op_client, &mut self.rng);
+                        if self.net.reorder_per_mille > 0
+                            && self.net.reorder_extra_max > 0
+                            && self.rng.random_range(0..1000u32) < self.net.reorder_per_mille
+                        {
+                            self.metrics.reordered += 1;
+                            delay = delay.saturating_add(
+                                self.rng.random_range(1..=self.net.reorder_extra_max),
+                            );
+                        }
+                        let at = self.now.saturating_add(delay);
+                        let seq = self.next_seq();
+                        self.queue.push(Reverse(Event {
+                            at,
+                            seq,
+                            kind: EventKind::Deliver { from: pid, to, msg: msg.clone() },
+                        }));
+                    }
                 }
                 HostEffect::SetTimer { delay, token } => {
-                    let at = self.now + delay;
+                    // A gray node's timers stretch too: slow-but-alive
+                    // means slow processing, not just slow links.
+                    let gray = self.net.gray_factor(pid) as Time;
+                    let at = self.now.saturating_add(delay.saturating_mul(gray));
                     let seq = self.next_seq();
                     self.queue.push(Reverse(Event {
                         at,
@@ -636,6 +736,90 @@ mod tests {
         let mut w = two_bouncers(1);
         w.post(0, ProcessId(1), ProcessId(77), TestMsg::Ping(5));
         assert_eq!(w.run(), RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn asymmetric_cut_drops_one_direction_only() {
+        // p1 pings p2 which pings back; cut p2->p1 before the reply.
+        let mut w = two_bouncers(4);
+        w.schedule_fault(0, crate::FaultAction::CutLink { from: ProcessId(2), to: ProcessId(1) });
+        w.post(1, ProcessId(1), ProcessId(2), TestMsg::Ping(9));
+        assert_eq!(w.run(), RunOutcome::Quiescent);
+        // p2 received the ping (p1->p2 alive) but its reply died.
+        assert_eq!(w.metrics().partition_drops, 1);
+        assert!(w.completions().is_empty());
+    }
+
+    #[test]
+    fn heal_restores_flow() {
+        let mut w = two_bouncers(4);
+        w.schedule_fault(0, crate::FaultAction::CutBoth { a: ProcessId(1), b: ProcessId(2) });
+        w.schedule_fault(500, crate::FaultAction::HealAll);
+        // Sent during the cut: dropped. Sent after heal: bounces through.
+        w.post(1, ProcessId(1), ProcessId(2), TestMsg::Ping(3));
+        w.post(600, ProcessId(1), ProcessId(2), TestMsg::Ping(0));
+        assert_eq!(w.run(), RunOutcome::Quiescent);
+        assert_eq!(w.completions().len(), 1);
+        assert!(w.metrics().partition_drops >= 1);
+    }
+
+    #[test]
+    fn duplication_delivers_copies() {
+        let mut w = two_bouncers(8);
+        w.net_mut().duplicate_per_mille = 1000; // every send duplicated
+        w.post(0, ProcessId(1), ProcessId(2), TestMsg::Ping(1));
+        assert_eq!(w.run(), RunOutcome::Quiescent);
+        // Every protocol send spawned two deliveries.
+        assert!(w.metrics().duplicated > 0);
+        assert!(w.metrics().messages_delivered > w.metrics().messages_sent);
+    }
+
+    #[test]
+    fn gray_node_slows_messages_without_crashing() {
+        let run = |factor: u32| {
+            let mut w = two_bouncers(6);
+            if factor > 1 {
+                w.schedule_fault(0, crate::FaultAction::Grayify { pid: ProcessId(2), factor });
+            }
+            w.post(1, ProcessId(1), ProcessId(2), TestMsg::Ping(9));
+            assert_eq!(w.run(), RunOutcome::Quiescent);
+            assert_eq!(w.completions().len(), 1, "gray node must stay alive");
+            w.now()
+        };
+        let healthy = run(1);
+        let gray = run(40);
+        assert!(gray > healthy * 10, "gray run {gray} vs healthy {healthy}");
+    }
+
+    #[test]
+    fn step_trigger_fires_mid_run() {
+        let mut w = two_bouncers(2);
+        w.schedule_fault_at_step(
+            3,
+            crate::FaultAction::CutBoth { a: ProcessId(1), b: ProcessId(2) },
+        );
+        w.post(0, ProcessId(1), ProcessId(2), TestMsg::Ping(20));
+        assert_eq!(w.run(), RunOutcome::Quiescent);
+        // The bounce chain dies shortly after the third event.
+        assert!(w.metrics().partition_drops >= 1);
+        assert!(w.events_processed() < 10);
+        assert_eq!(w.metrics().faults_applied, 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = |seed| {
+            let mut w = two_bouncers(seed);
+            let sched = crate::FaultSchedule::new()
+                .at(50, crate::FaultAction::Grayify { pid: ProcessId(2), factor: 12 })
+                .at(900, crate::FaultAction::Ungray { pid: ProcessId(2) })
+                .at_step(20, crate::FaultAction::SetDuplication { per_mille: 300 });
+            w.install_faults(&sched);
+            w.post(0, ProcessId(1), ProcessId(2), TestMsg::Ping(30));
+            w.run();
+            (w.now(), w.events_processed(), w.metrics().duplicated)
+        };
+        assert_eq!(run(13), run(13));
     }
 
     #[test]
